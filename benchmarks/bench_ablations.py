@@ -1,0 +1,45 @@
+"""Benchmarks: ablation studies A1-A3 (DESIGN.md per-experiment index)."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    run_ablation_bruteforce_grid,
+    run_ablation_evaluator,
+    run_ablation_truncation,
+)
+
+
+def test_ablation_evaluator(benchmark, bench_config):
+    rows = run_once(benchmark, run_ablation_evaluator, bench_config)
+    assert len(rows) == 9
+    # MC and the exact series agree within ~5 standard errors everywhere.
+    for r in rows:
+        assert r.z_score < 5.0, r.distribution
+
+
+def test_ablation_bruteforce_grid(benchmark, bench_config):
+    out = run_once(
+        benchmark,
+        run_ablation_bruteforce_grid,
+        ("exponential", "lognormal"),
+        (10, 50, 200),
+        bench_config,
+    )
+    for name, by_m in out.items():
+        series = [by_m[m] for m in (10, 50, 200)]
+        # Finer grids never hurt (series-evaluated, no MC noise).
+        assert series[-1] <= series[0] + 1e-9, name
+        assert series[-1] < 2.5
+
+
+def test_ablation_truncation(benchmark, bench_config):
+    out = run_once(
+        benchmark,
+        run_ablation_truncation,
+        ("weibull", "pareto"),
+        (1e-2, 1e-4, 1e-7),
+        bench_config,
+    )
+    for name, by_eps in out.items():
+        for eps, v in by_eps.items():
+            assert v >= 1.0 - 1e-9, (name, eps)

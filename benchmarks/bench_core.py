@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These time the primitives the experiment harness leans on: the vectorized
+Monte-Carlo cost engine, the O(n^2) Theorem 5 DP, Eq. (11) sequence
+generation, and the Theorem 1 series evaluator.  They guard against
+accidental de-vectorization (the hpc-parallel guides' main failure mode).
+"""
+
+import numpy as np
+
+from repro import (
+    CostModel,
+    Exponential,
+    LogNormal,
+    ReservationSequence,
+    expected_cost_series,
+    generate_optimal_sequence,
+    solve_discrete_dp,
+)
+from repro.core.sequence import constant_extender
+from repro.discretization import equal_probability
+from repro.simulation.monte_carlo import costs_for_times
+
+
+def test_monte_carlo_engine_100k(benchmark):
+    """Vectorized costing of 100k samples against a 30-step ladder."""
+    d = LogNormal(3.0, 0.5)
+    cm = CostModel.reservation_only()
+    times = d.rvs(100_000, seed=0)
+    seq = ReservationSequence([d.mean()], extend=constant_extender(d.mean()))
+    seq.ensure_covers(float(times.max()))
+
+    out = benchmark(costs_for_times, seq, times, cm)
+    assert out.shape == times.shape
+    assert float(out.min()) > 0
+
+
+def test_discrete_dp_n1000(benchmark):
+    """Theorem 5 DP at the paper's n=1000."""
+    d = LogNormal(3.0, 0.5)
+    cm = CostModel.reservation_only()
+    discrete = equal_probability(d, 1000, 1e-7)
+
+    result = benchmark(solve_discrete_dp, discrete, cm)
+    assert result.reservations[-1] == discrete.values[-1]
+
+
+def test_eq11_sequence_generation(benchmark):
+    """Eq. (11) sequence materialization down to survival 1e-12."""
+    d = LogNormal(3.0, 0.5)
+    cm = CostModel.reservation_only()
+
+    values = benchmark(generate_optimal_sequence, 30.64, d, cm)
+    assert len(values) >= 3
+
+
+def test_series_evaluator(benchmark):
+    """Theorem 1 series on a mean-spaced ladder (Exponential)."""
+    d = Exponential(1.0)
+    cm = CostModel(alpha=1.0, beta=1.0, gamma=0.5)
+
+    def run():
+        seq = ReservationSequence([1.0], extend=constant_extender(1.0))
+        return expected_cost_series(seq, d, cm)
+
+    cost = benchmark(run)
+    assert cost > 0
+
+
+def test_sampling_inverse_transform_1m(benchmark):
+    """Inverse-transform sampling throughput (1M variates)."""
+    d = LogNormal(3.0, 0.5)
+    out = benchmark(d.rvs, 1_000_000, 42)
+    assert out.shape == (1_000_000,)

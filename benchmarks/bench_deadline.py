@@ -1,0 +1,25 @@
+"""Benchmark: extension E6 — cost-vs-deadline Pareto frontier."""
+
+from conftest import run_once
+
+from repro.experiments.deadline_exp import run_deadline_experiment
+
+
+def test_ext_deadline(benchmark, bench_config):
+    rows = run_once(
+        benchmark, run_deadline_experiment, (1.0, 1.5, 4.0), 0.99, bench_config
+    )
+    by_factor = {r.deadline_over_quantile: r for r in rows}
+    # Frontier shape: monotone, anchored at the unconstrained cost.
+    assert (
+        by_factor[1.0].expected_cost
+        >= by_factor[1.5].expected_cost
+        >= by_factor[4.0].expected_cost
+    )
+    # Tight guarantee costs real money (>20% premium)...
+    assert by_factor[1.0].certainty_premium > 0.2
+    # ...a 4x-quantile deadline is effectively free.
+    assert by_factor[4.0].certainty_premium < 0.02
+    # Every plan honours its deadline.
+    for r in rows:
+        assert r.worst_case <= r.deadline_over_quantile * by_factor[1.0].worst_case + 1e-6

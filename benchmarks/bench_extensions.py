@@ -1,0 +1,46 @@
+"""Benchmarks: extension experiments E1 (convex costs) and E2 (checkpointing)."""
+
+from conftest import run_once
+
+from repro.experiments.extensions_exp import (
+    run_checkpoint_experiment,
+    run_convex_experiment,
+)
+
+
+def test_ext_convex(benchmark, bench_config):
+    rows = run_once(
+        benchmark,
+        run_convex_experiment,
+        (0.1, 1.0),
+        ("exponential", "lognormal", "uniform"),
+        bench_config,
+        200,
+    )
+    assert len(rows) == 6
+    # Uniform: Theorem 4 generalizes — the singleton (b) stays optimal.
+    for r in rows:
+        if r.distribution == "uniform":
+            assert abs(r.best_t1 - 20.0) < 0.2
+            assert r.sequence_len == 1
+        assert r.normalized >= 1.0
+
+
+def test_ext_checkpoint(benchmark, bench_config):
+    rows = run_once(
+        benchmark,
+        run_checkpoint_experiment,
+        (0.0, 0.25, 1.0),
+        ("exponential", "lognormal"),
+        bench_config,
+    )
+    by_key = {(r.distribution, r.overhead): r for r in rows}
+    for dist in ("exponential", "lognormal"):
+        # Zero-overhead checkpointing is a large win over restart-from-scratch.
+        assert by_key[(dist, 0.0)].improvement > 0.2, dist
+        # Benefits decay as the overhead grows.
+        assert (
+            by_key[(dist, 0.0)].checkpoint_cost
+            < by_key[(dist, 0.25)].checkpoint_cost
+            < by_key[(dist, 1.0)].checkpoint_cost
+        ), dist

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 1 (trace histograms + LogNormal fits)."""
+
+from conftest import run_once
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1(benchmark, bench_config):
+    result = run_once(benchmark, run_fig1, bench_config, n_runs=5000)
+    assert set(result.panels) == {"fmriqa", "vbmqa"}
+    vbmqa = result.panels["vbmqa"]
+    # Fit recovers the published parameters (mu=7.1128, sigma=0.2039).
+    assert abs(vbmqa.fit.mu - vbmqa.generating_mu) < 0.02
+    assert abs(vbmqa.fit.sigma - vbmqa.generating_sigma) < 0.02
+    # Paper-reported moments: mean ~1253 s, std ~258 s.
+    assert abs(vbmqa.fit.mean - 1253.37) < 40.0
+    assert vbmqa.ks < 0.05

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 2 (wait-time group averages + affine fits)."""
+
+from conftest import run_once
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2(benchmark, bench_config):
+    result = run_once(benchmark, run_fig2, bench_config, n_jobs=4000)
+    assert set(result.panels) == {204, 409}
+    p409 = result.panels[409]
+    # The 409-processor fit parameterizes NEUROHPC: slope ~0.95.
+    assert abs(p409.fitted.slope - 0.95) < 0.15
+    assert abs(p409.fitted.intercept - 1.05) < 0.5
+    # Wait times increase with requested runtime (the figure's visual claim).
+    assert p409.group_wait[-1] > p409.group_wait[0]
+    assert len(p409.group_requested) == 20

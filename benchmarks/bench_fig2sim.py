@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 2 from first principles (batch-queue simulator)."""
+
+from conftest import run_once
+
+from repro.experiments.fig2sim import run_fig2sim
+
+
+def test_fig2sim(benchmark, bench_config):
+    result = run_once(benchmark, run_fig2sim, bench_config, n_jobs=2000)
+    easy = result.panels["easy_backfill"]
+    fcfs = result.panels["fcfs"]
+    # Emergent Fig. 2 behaviour: positive slope under backfilling, and a
+    # stronger requested-runtime penalty (relative slope) than FCFS.
+    assert easy.fitted.slope > 0.2
+    assert easy.relative_slope > fcfs.relative_slope
+    # Backfilling also improves both wait and utilization.
+    assert easy.stats.mean_wait < fcfs.stats.mean_wait
+    assert easy.stats.utilization > fcfs.stats.utilization

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 3 (cost landscape over t1, all 9 panels)."""
+
+from conftest import run_once
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(benchmark, bench_config):
+    result = run_once(benchmark, run_fig3, bench_config, sweep_points=150)
+    assert len(result.series) == 9
+    # Exponential panel: infeasible gap in the middle band (Fig. 3a).
+    exp = result.series["exponential"]
+    infeasible_t1 = [p.x for p in exp.points if not p.feasible]
+    assert any(0.25 < t < 0.75 for t in infeasible_t1)
+    # Uniform panel: only the right endpoint is feasible (Theorem 4).
+    uni = result.series["uniform"]
+    assert uni.feasible_fraction < 0.05
+    assert abs(uni.best_t1 - 20.0) < 0.1
+    # Every best point beats (or ties) 1.0 normalized and is feasible.
+    for name, s in result.series.items():
+        assert s.best_cost >= 1.0 - 1e-9, name

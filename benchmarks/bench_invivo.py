@@ -1,0 +1,31 @@
+"""Benchmark: extension E4 — in-vivo validation inside the batch queue."""
+
+from conftest import run_once
+
+from repro.experiments.invivo_exp import run_invivo_experiment
+
+
+def test_ext_invivo(benchmark, bench_config):
+    rows = run_once(
+        benchmark, run_invivo_experiment, bench_config, 300, 16, 20.0
+    )
+    by_name = {r.strategy: r for r in rows}
+    # The model's ordering survives contact with the real (simulated) queue:
+    # DP family < mean_doubling < mean_by_mean/median_by_median.
+    assert (
+        by_name["equal_probability_dp"].realized_turnaround
+        < by_name["mean_doubling"].realized_turnaround
+        < by_name["median_by_median"].realized_turnaround
+    )
+    # Realized attempts track the model's reservation counts.
+    assert by_name["equal_probability_dp"].mean_attempts < 1.3
+    assert by_name["median_by_median"].mean_attempts > 1.6
+    # Model predictions and realized turnarounds agree on the ranking.
+    model_rank = sorted(rows, key=lambda r: r.model_normalized)
+    vivo_rank = sorted(rows, key=lambda r: r.realized_turnaround)
+    assert [r.strategy for r in model_rank][0] in (
+        "equal_probability_dp", "equal_time_dp"
+    )
+    assert [r.strategy for r in vivo_rank][0] in (
+        "equal_probability_dp", "equal_time_dp"
+    )

@@ -1,0 +1,28 @@
+"""Benchmark: extension E5 — planning under model misspecification."""
+
+from conftest import run_once
+
+from repro.experiments.misspecification_exp import run_misspecification_experiment
+
+
+def test_ext_misspecification(benchmark, bench_config):
+    rows = run_once(
+        benchmark,
+        run_misspecification_experiment,
+        (0.0, 2.0, 3.0),
+        1500,
+        bench_config,
+    )
+    by_gap = {r.gap: r for r in rows}
+    # Well specified: all three plans equivalent.
+    assert abs(by_gap[0.0].misspecification_premium) < 0.10
+    # Strongly bimodal: the LogNormal fit pays a large premium...
+    assert by_gap[3.0].misspecification_premium > 0.20
+    # ...while planning on the raw trace stays near the oracle.
+    assert by_gap[3.0].empirical_premium < 0.10
+    # Premium grows with the mode separation.
+    assert (
+        by_gap[3.0].misspecification_premium
+        > by_gap[2.0].misspecification_premium
+        > by_gap[0.0].misspecification_premium
+    )

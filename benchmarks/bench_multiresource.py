@@ -1,0 +1,29 @@
+"""Benchmark: extension E3 — multi-resource reservations."""
+
+from conftest import run_once
+
+from repro.experiments.multiresource_exp import run_multiresource_experiment
+
+
+def test_ext_multiresource(benchmark, bench_config):
+    rows = run_once(
+        benchmark,
+        run_multiresource_experiment,
+        (0.01, 0.2, 1.0),
+        (0.02, 0.2),
+        bench_config,
+    )
+    by_key = {(r.serial_fraction, r.alpha1): r for r in rows}
+    for sf in (0.02, 0.2):
+        # Crossover: widest request shrinks as parallelism gets pricier.
+        widths = [by_key[(sf, a1)].max_processors for a1 in (0.01, 0.2, 1.0)]
+        assert widths[0] > widths[-1], sf
+        # Costs normalized against the clairvoyant bound stay in band.
+        for a1 in (0.01, 0.2, 1.0):
+            assert 1.0 <= by_key[(sf, a1)].normalized < 3.0
+    # Poor scaling (large serial fraction) narrows requests at equal price.
+    assert (
+        by_key[(0.2, 0.05)].max_processors <= by_key[(0.02, 0.05)].max_processors
+        if (0.2, 0.05) in by_key
+        else True
+    )

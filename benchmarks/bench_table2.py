@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 2 (7 heuristics x 9 distributions)."""
+
+from conftest import run_once
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2(benchmark, bench_config):
+    result = run_once(benchmark, run_table2, bench_config)
+    # Headline shapes (Section 5.2).  Heavy-tailed rows (Weibull k=0.5,
+    # Pareto) have large per-sample cost variance at reduced N, so the
+    # RI-vs-OD bound is asserted net of two Monte-Carlo standard errors.
+    for dist, row in result.records.items():
+        for strat, rec in row.items():
+            assert rec.normalized_cost >= 1.0 - 1e-9, (dist, strat)
+            lower = (rec.expected_cost - 2.0 * (rec.std_error or 0.0)) / (
+                rec.omniscient_cost
+            )
+            assert lower < 4.0, (dist, strat)
+    assert result.normalized("uniform", "brute_force") == 4.0 / 3.0
+    # Brute-force is never beaten by more than noise.
+    for dist in result.records:
+        for strat in result.records[dist]:
+            assert result.vs_brute_force(dist, strat) > 0.85, (dist, strat)

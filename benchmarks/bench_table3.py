@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (best t1 vs quantile guesses)."""
+
+from conftest import run_once
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark, bench_config):
+    result = run_once(benchmark, run_table3, bench_config)
+    assert len(result.rows) == 9
+    by_name = {r.distribution: r for r in result.rows}
+    # Uniform: t1^bf = b, every interior quantile invalid (Theorem 4).
+    uni = by_name["uniform"]
+    assert abs(uni.t1_bf - 20.0) < 0.2
+    assert uni.quantile_cost[0.25] is None
+    # LogNormal: t1^bf ~ 30.64 (Table 3), interior quantiles invalid.
+    ln = by_name["lognormal"]
+    assert abs(ln.t1_bf - 30.64) < 3.0
+    assert ln.quantile_cost[0.5] is None
+    # Brute-force never loses to a valid quantile guess (beyond noise).
+    for row in result.rows:
+        for cost in row.quantile_cost.values():
+            if cost is not None:
+                assert row.cost_bf <= cost * 1.1, row.distribution

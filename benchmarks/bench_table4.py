@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 4 (discretization convergence in n)."""
+
+from conftest import run_once
+
+from repro.experiments.table4 import run_table4
+
+SAMPLE_COUNTS = (10, 25, 100, 250)
+
+
+def test_table4(benchmark, bench_config):
+    result = run_once(
+        benchmark, run_table4, bench_config, sample_counts=SAMPLE_COUNTS
+    )
+    assert len(result.costs) == 9 * 2 * len(SAMPLE_COUNTS)
+    # Heavy tails converge from very poor starts (paper: Weibull 17.0 -> 2.4,
+    # Pareto 31.5 -> 1.7 over the n sweep).
+    for dist in ("weibull", "pareto"):
+        for scheme in ("equal_time", "equal_probability"):
+            series = result.series(dist, scheme)
+            assert series[0] > 3.0, (dist, scheme)
+            assert series[-1] < series[0], (dist, scheme)
+    # Uniform is flat at 4/3 for every n.
+    for v in result.series("uniform", "equal_time"):
+        assert abs(v - 4.0 / 3.0) < 0.02

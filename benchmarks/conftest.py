@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each paper artifact (table/figure) gets one benchmark module that runs the
+corresponding experiment end-to-end at a reduced-but-representative
+configuration and verifies its headline shape, so `pytest benchmarks/
+--benchmark-only` both times the harness and re-checks the reproduction.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Scaled-down configuration: every qualitative conclusion survives,
+    and a full benchmark pass stays under a couple of minutes."""
+    return ExperimentConfig(m_grid=200, n_samples=500, n_discrete=200, seed=2019)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once per round (they are seconds-scale, not
+    microseconds-scale)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1)

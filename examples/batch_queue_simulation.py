@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Where does the wait-time model come from?  Simulate the batch queue.
+
+The paper fits `wait(R) = 0.95 R + 1.05h` from Intrepid logs (Fig. 2) and
+builds the NEUROHPC cost model on it.  This example derives that structure
+from first principles:
+
+1. generate a realistic workload (Poisson arrivals, LogNormal runtimes,
+   power-of-two node counts, padded requests),
+2. run it through a 64-node cluster under FCFS and EASY backfilling,
+3. group jobs by requested runtime, fit the affine wait model — the positive
+   slope *emerges* from backfilling mechanics,
+4. plug the emergent model into the reservation machinery and plan a job.
+
+Run:  python examples/batch_queue_simulation.py
+"""
+
+from repro import LogNormal, evaluate_strategy, paper_strategies
+from repro.batchsim import (
+    EasyBackfillScheduler,
+    FCFSScheduler,
+    QueueStatistics,
+    WorkloadSpec,
+    generate_workload,
+    simulate,
+    wait_model_from_simulation,
+)
+
+SEED = 3
+spec = WorkloadSpec(n_jobs=3000, arrival_rate=30.0, max_nodes_exp=5)
+
+# ----------------------------------------------------------------------
+# 1-2. Simulate the same workload under both disciplines.
+# ----------------------------------------------------------------------
+print(f"Workload: {spec.n_jobs} jobs, ~{spec.arrival_rate:.0f}/h, 64 nodes\n")
+print(f"{'scheduler':16s} {'mean wait':>10s} {'p95 wait':>9s} {'util':>6s} "
+      f"{'fit slope':>10s} {'intercept':>10s}")
+models = {}
+for scheduler in (FCFSScheduler(), EasyBackfillScheduler()):
+    result = simulate(generate_workload(spec, seed=SEED), 64, scheduler=scheduler)
+    stats = QueueStatistics.from_result(result)
+    model = wait_model_from_simulation(result)
+    models[scheduler.name] = model
+    print(f"{scheduler.name:16s} {stats.mean_wait:10.2f} {stats.p95_wait:9.2f} "
+          f"{stats.utilization:6.3f} {model.slope:10.3f} {model.intercept:10.2f}")
+
+print(
+    "\nBackfilling slashes waits and utilizes the machine better — and it is\n"
+    "what makes the wait depend on the *requested* runtime (steep slope):\n"
+    "short requests slip into holes, long ones cannot. FCFS's wait is almost\n"
+    "independent of the job's own request.\n"
+)
+
+# ----------------------------------------------------------------------
+# 3-4. Plan reservations against the emergent cost model.
+# ----------------------------------------------------------------------
+emergent = models["easy_backfill"]
+cost_model = emergent.to_cost_model(beta=1.0)
+workload = LogNormal(mu=0.0, sigma=0.6)  # a ~1h application on this cluster
+print(f"Emergent cost model: alpha={cost_model.alpha:.3f}, beta=1, "
+      f"gamma={cost_model.gamma:.2f}h")
+print(f"Planning for {workload.describe()}:\n")
+
+strategies = paper_strategies(m_grid=800, n_samples=800, n_discrete=300, seed=SEED)
+for name in ("brute_force", "equal_probability_dp", "mean_doubling",
+             "median_by_median"):
+    record = evaluate_strategy(
+        strategies[name], workload, cost_model, n_samples=2000, seed=SEED
+    )
+    print(f"  {name:22s} turnaround/job = {record.expected_cost:7.2f}h "
+          f"({record.normalized_cost:.3f}x clairvoyant)")

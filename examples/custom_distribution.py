@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bring your own distribution: a bimodal execution-time law.
+
+The paper's theory (Theorems 1-3) only needs a smooth pdf/CDF, not one of
+the nine Table 1 laws.  This example defines a *mixture of two LogNormals*
+— e.g. a bioinformatics tool whose runtime depends on which of two input
+classes a sample falls into — by subclassing ``Distribution`` with just
+pdf/cdf/quantile; the base class supplies moments, conditional expectations
+and sampling numerically, and every strategy works unchanged.
+
+Run:  python examples/custom_distribution.py
+"""
+
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro import (
+    BruteForce,
+    CostModel,
+    EqualProbabilityDP,
+    LogNormal,
+    MeanByMean,
+    MedianByMedian,
+    evaluate_strategy,
+)
+from repro.distributions.base import Distribution
+
+
+class LogNormalMixture(Distribution):
+    """w * LogNormal(m1, s1) + (1-w) * LogNormal(m2, s2)."""
+
+    name = "lognormal_mixture"
+
+    def __init__(self, m1: float, s1: float, m2: float, s2: float, w: float):
+        if not 0.0 < w < 1.0:
+            raise ValueError(f"mixture weight must be in (0,1), got {w}")
+        self.a = LogNormal(m1, s1)
+        self.b = LogNormal(m2, s2)
+        self.w = float(w)
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    def pdf(self, t):
+        return self.w * self.a.pdf(t) + (1.0 - self.w) * self.b.pdf(t)
+
+    def cdf(self, t):
+        return self.w * self.a.cdf(t) + (1.0 - self.w) * self.b.cdf(t)
+
+    def quantile(self, q):
+        # No closed form: invert the CDF by bisection (vectorized via loop —
+        # quantiles are only needed at strategy-construction time).
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        hi_seed = max(float(self.a.quantile(0.999999)), float(self.b.quantile(0.999999)))
+        out = np.empty_like(q)
+        for i, qi in enumerate(q):
+            if qi == 0.0:
+                out[i] = 0.0
+                continue
+            if qi == 1.0:
+                out[i] = math.inf
+                continue
+            hi = hi_seed
+            while float(self.cdf(hi)) < qi:
+                hi *= 2.0
+            out[i] = optimize.brentq(lambda t: float(self.cdf(t)) - qi, 1e-12, hi)
+        return out if out.size > 1 else float(out[0])
+
+
+def main() -> None:
+    # Fast path ~20 min, slow path ~2 h, 70/30 split.
+    dist = LogNormalMixture(m1=math.log(1 / 3), s1=0.25,
+                            m2=math.log(2.0), s2=0.35, w=0.7)
+    print(f"Workload: {dist.describe()}")
+    print(f"  The two modes sit near {math.exp(math.log(1 / 3)):.2f}h "
+          f"and {math.exp(math.log(2.0)):.2f}h.\n")
+
+    cost_model = CostModel.reservation_only()
+    strategies = [
+        BruteForce(m_grid=600, n_samples=800, seed=0),
+        EqualProbabilityDP(n=400),
+        MeanByMean(),
+        MedianByMedian(),
+    ]
+
+    print(f"{'strategy':24s} {'E(S)/E^o':>9s}  sequence head")
+    for strategy in strategies:
+        record = evaluate_strategy(
+            strategy, dist, cost_model, n_samples=2000, seed=1
+        )
+        seq = strategy.sequence(dist, cost_model)
+        seq.ensure_covers(float(dist.quantile(0.99)))
+        head = ", ".join(f"{t:.2f}" for t in seq.values[:4])
+        print(f"{strategy.name:24s} {record.normalized_cost:9.3f}  [{head}, ...]")
+
+    print(
+        "\nNote how the optimized strategies place an early reservation near\n"
+        "the fast mode (~0.4h) and a later one past the slow mode (~2h) —\n"
+        "structure the mean/median heuristics cannot express."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a stochastic job on a reservation-based platform.
+
+A job's execution time follows LogNormal(mu=3, sigma=0.5) (Table 1 of the
+paper).  We build every reservation strategy from the paper, estimate its
+expected cost under Reserved-Instance pricing (pay exactly what you request),
+and compare against the omniscient scheduler that knows each job's duration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CostModel,
+    LogNormal,
+    Omniscient,
+    evaluate_strategy,
+    paper_strategies,
+)
+
+# 1. The workload: execution times in hours, LogNormal(3, 0.5).
+distribution = LogNormal(mu=3.0, sigma=0.5)
+print(f"Workload: {distribution.describe()}")
+print(f"  mean={distribution.mean():.2f}h  std={distribution.std():.2f}h  "
+      f"median={distribution.median():.2f}h")
+
+# 2. The platform: RESERVATIONONLY (AWS Reserved Instances).
+cost_model = CostModel.reservation_only()
+omniscient = Omniscient().expected_cost(distribution, cost_model)
+print(f"\nOmniscient lower bound: {omniscient:.3f} (pays exactly E[X])\n")
+
+# 3. Every strategy from the paper, scored by Monte-Carlo (Eq. 13).
+strategies = paper_strategies(m_grid=1000, n_samples=1000, n_discrete=500, seed=42)
+
+print(f"{'strategy':24s} {'E(S)':>8s} {'E(S)/E^o':>9s}  first reservations")
+for name, strategy in strategies.items():
+    record = evaluate_strategy(
+        strategy, distribution, cost_model, n_samples=2000, seed=7
+    )
+    sequence = strategy.sequence(distribution, cost_model)
+    sequence.ensure_covers(distribution.quantile(0.99))
+    head = ", ".join(f"{t:.1f}" for t in sequence.values[:4])
+    print(
+        f"{name:24s} {record.expected_cost:8.3f} {record.normalized_cost:9.3f}"
+        f"  [{head}, ...]"
+    )
+
+print(
+    "\nBrute-Force explores the Eq. (11) characterization of the optimal\n"
+    "sequence and should sit at the top; Median-by-Median is the weakest."
+)

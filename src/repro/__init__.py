@@ -1,0 +1,166 @@
+"""repro — Reservation Strategies for Stochastic Jobs (IPDPS 2019).
+
+A complete reproduction of Aupy, Gainaru, Honoré, Raghavan, Robert & Sun,
+"Reservation Strategies for Stochastic Jobs": the affine reservation cost
+model, the optimal-sequence characterization (Theorems 1-4, Propositions
+1-2), the BRUTE-FORCE and discretization+DP heuristics, the standard-measure
+heuristics, both platform models (cloud RESERVATIONONLY and NEUROHPC), and
+the full experiment harness regenerating Tables 2-4 and Figures 1-4.
+
+Quickstart::
+
+    from repro import CostModel, LogNormal, BruteForce, evaluate_strategy
+
+    dist = LogNormal(mu=3.0, sigma=0.5)
+    cost = CostModel.reservation_only()
+    strategy = BruteForce(m_grid=500, n_samples=1000, seed=42)
+    record = evaluate_strategy(strategy, dist, cost, seed=7)
+    print(record.normalized_cost)   # ~1.85 (Table 2, Lognormal row)
+"""
+
+from repro.core import (
+    AffineReservationCost,
+    CostModel,
+    PAPER_EXPONENTIAL_S1,
+    QuadraticReservationCost,
+    RecurrenceError,
+    ReservationSequence,
+    SequenceError,
+    TheoremTwoBounds,
+    compute_bounds,
+    expected_cost_convex,
+    expected_cost_direct,
+    expected_cost_series,
+    exponential_optimal_sequence,
+    exponential_s1,
+    generate_convex_sequence,
+    generate_optimal_sequence,
+    next_reservation,
+    normalized_cost,
+    optimal_sequence_from_t1,
+    t1_search_interval,
+    uniform_optimal_sequence,
+)
+from repro.discretization import (
+    discretize,
+    equal_probability,
+    equal_time,
+    truncation_bound,
+)
+from repro.distributions import (
+    Beta,
+    BoundedPareto,
+    DiscreteDistribution,
+    Distribution,
+    Exponential,
+    Gamma,
+    LogNormal,
+    Pareto,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+    fit_lognormal,
+    lognormal_from_moments,
+    make_distribution,
+    paper_distribution,
+    paper_distributions,
+)
+from repro.platforms import (
+    NeuroHPCPlatform,
+    ReservationOnlyPlatform,
+    WaitTimeModel,
+    generate_trace,
+)
+from repro.simulation import (
+    EvaluationRecord,
+    evaluate_sequence,
+    evaluate_strategy,
+    monte_carlo_expected_cost,
+)
+from repro.strategies import (
+    BruteForce,
+    EqualProbabilityDP,
+    EqualTimeDP,
+    MeanByMean,
+    MeanDoubling,
+    MeanStdev,
+    MedianByMedian,
+    Omniscient,
+    Strategy,
+    make_strategy,
+    paper_strategies,
+    solve_discrete_dp,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "CostModel",
+    "ReservationSequence",
+    "SequenceError",
+    "RecurrenceError",
+    "expected_cost_series",
+    "expected_cost_direct",
+    "normalized_cost",
+    "compute_bounds",
+    "TheoremTwoBounds",
+    "t1_search_interval",
+    "next_reservation",
+    "generate_optimal_sequence",
+    "optimal_sequence_from_t1",
+    "uniform_optimal_sequence",
+    "exponential_optimal_sequence",
+    "exponential_s1",
+    "PAPER_EXPONENTIAL_S1",
+    "AffineReservationCost",
+    "QuadraticReservationCost",
+    "generate_convex_sequence",
+    "expected_cost_convex",
+    # distributions
+    "Distribution",
+    "Exponential",
+    "Weibull",
+    "Gamma",
+    "LogNormal",
+    "lognormal_from_moments",
+    "TruncatedNormal",
+    "Pareto",
+    "Uniform",
+    "Beta",
+    "BoundedPareto",
+    "DiscreteDistribution",
+    "fit_lognormal",
+    "make_distribution",
+    "paper_distribution",
+    "paper_distributions",
+    # discretization
+    "discretize",
+    "equal_time",
+    "equal_probability",
+    "truncation_bound",
+    # strategies
+    "Strategy",
+    "BruteForce",
+    "MeanByMean",
+    "MeanStdev",
+    "MeanDoubling",
+    "MedianByMedian",
+    "EqualTimeDP",
+    "EqualProbabilityDP",
+    "Omniscient",
+    "solve_discrete_dp",
+    "make_strategy",
+    "paper_strategies",
+    # simulation
+    "evaluate_strategy",
+    "evaluate_sequence",
+    "monte_carlo_expected_cost",
+    "EvaluationRecord",
+    # platforms
+    "ReservationOnlyPlatform",
+    "NeuroHPCPlatform",
+    "WaitTimeModel",
+    "generate_trace",
+    "__version__",
+]

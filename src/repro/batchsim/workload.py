@@ -1,0 +1,90 @@
+"""Synthetic workload generation for the batch simulator.
+
+Models the statistical structure HPC workload studies report (Feitelson [9],
+Section 6 of the paper): Poisson arrivals, LogNormal actual runtimes,
+power-of-two-ish node counts, and *requested* runtimes that over-estimate
+the actual runtime by a user-dependent factor (users pad their requests to
+avoid the wall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.batchsim.job import Job
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["WorkloadSpec", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic batch workload.
+
+    ``arrival_rate`` is jobs per hour; runtimes are in hours.  Requested
+    runtimes are ``actual * Uniform(1, 1 + max_overestimate)`` capped at
+    ``max_request``, matching the user over-estimation behaviour documented
+    in [17].
+    """
+
+    n_jobs: int = 1000
+    arrival_rate: float = 20.0
+    runtime_log_mean: float = -0.5  # LogNormal mu of actual runtime (hours)
+    runtime_log_sigma: float = 1.0
+    max_nodes_exp: int = 6  # node counts drawn from {1, 2, 4, ..., 2^exp}
+    max_overestimate: float = 1.0
+    max_request: float = 48.0
+    #: Fraction of users who under-request (their jobs hit the wall and are
+    #: killed — the failure mode [17] documents).
+    underestimate_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError("need at least one job")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if self.runtime_log_sigma <= 0:
+            raise ValueError("runtime log-sigma must be positive")
+        if self.max_nodes_exp < 0:
+            raise ValueError("max_nodes_exp must be nonnegative")
+        if self.max_overestimate < 0:
+            raise ValueError("max_overestimate must be nonnegative")
+        if self.max_request <= 0:
+            raise ValueError("max_request must be positive")
+        if not (0.0 <= self.underestimate_fraction < 1.0):
+            raise ValueError("underestimate_fraction must be in [0, 1)")
+
+
+def generate_workload(spec: WorkloadSpec, seed: SeedLike = None) -> List[Job]:
+    """Draw a workload according to ``spec``."""
+    rng = as_generator(seed)
+    arrivals = np.cumsum(rng.exponential(1.0 / spec.arrival_rate, size=spec.n_jobs))
+    actual = rng.lognormal(spec.runtime_log_mean, spec.runtime_log_sigma,
+                           size=spec.n_jobs)
+    # Node counts: power-of-two sizes with a bias toward small jobs.
+    exps = rng.geometric(p=0.45, size=spec.n_jobs) - 1
+    nodes = np.power(2, np.minimum(exps, spec.max_nodes_exp))
+    pad = rng.uniform(1.0, 1.0 + spec.max_overestimate, size=spec.n_jobs)
+    requested = np.minimum(actual * pad, spec.max_request)
+    requested = np.maximum(requested, actual)  # cap must not under-request
+    if spec.underestimate_fraction > 0.0:
+        under = rng.random(spec.n_jobs) < spec.underestimate_fraction
+        # Under-requesters ask for 50-95% of their actual runtime: the job
+        # hits the wall and is killed by the scheduler.
+        requested = np.where(
+            under, actual * rng.uniform(0.5, 0.95, size=spec.n_jobs), requested
+        )
+
+    return [
+        Job(
+            job_id=i,
+            submit_time=float(arrivals[i]),
+            nodes=int(nodes[i]),
+            requested_runtime=float(requested[i]),
+            actual_runtime=float(actual[i]),
+        )
+        for i in range(spec.n_jobs)
+    ]

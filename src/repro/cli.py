@@ -1,0 +1,182 @@
+"""``repro-plan`` — the user-facing planning tool.
+
+Turn a job's execution-time distribution (named parameters, or a file of
+historical runtimes to fit) plus a platform cost model into a concrete
+reservation sequence, with expected cost, risk statistics and the
+reservation-count distribution:
+
+    repro-plan --distribution lognormal --param mu=3.0 --param sigma=0.5
+    repro-plan --fit runtimes.txt --alpha 0.95 --beta 1 --gamma 1.05
+    repro-plan --distribution exponential --param rate=2 --strategy equal_time_dp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.distributions.fitting import fit_lognormal
+from repro.distributions.registry import make_distribution
+from repro.simulation.statistics import cost_statistics, reservation_count_pmf
+from repro.strategies.registry import PAPER_STRATEGY_ORDER, make_strategy
+from repro.utils.tables import format_table
+
+__all__ = ["main"]
+
+
+def _parse_params(pairs) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}; expected name=value")
+        name, value = pair.split("=", 1)
+        try:
+            out[name.strip()] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --param value in {pair!r}") from None
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="Compute a reservation sequence for a stochastic job "
+        "(Aupy et al., IPDPS 2019).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--distribution",
+        help="distribution name (exponential, weibull, gamma, lognormal, "
+        "truncated_normal, pareto, uniform, beta, bounded_pareto)",
+    )
+    source.add_argument(
+        "--fit",
+        metavar="FILE",
+        help="fit a LogNormal to one-runtime-per-line FILE instead",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="distribution parameter (repeatable), e.g. --param mu=3.0",
+    )
+    parser.add_argument("--alpha", type=float, default=1.0, help="reservation price")
+    parser.add_argument("--beta", type=float, default=0.0, help="usage price")
+    parser.add_argument("--gamma", type=float, default=0.0, help="per-request overhead")
+    parser.add_argument(
+        "--strategy",
+        default="brute_force",
+        choices=PAPER_STRATEGY_ORDER,
+        help="planning heuristic (default: brute_force)",
+    )
+    parser.add_argument(
+        "--coverage",
+        type=float,
+        default=0.999,
+        help="print reservations until this fraction of jobs is covered",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the plan as a JSON document to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    if args.fit:
+        try:
+            samples = np.loadtxt(args.fit, dtype=float).ravel()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.fit}: {exc}") from None
+        fit = fit_lognormal(samples)
+        dist = fit.distribution()
+        print(
+            f"Fitted LogNormal(mu={fit.mu:.4f}, sigma={fit.sigma:.4f}) from "
+            f"{fit.n_samples} runs (mean {fit.mean:.3f}, std {fit.std:.3f})"
+        )
+    else:
+        try:
+            dist = make_distribution(args.distribution, **_parse_params(args.param))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SystemExit(str(exc)) from None
+    cost_model = CostModel(alpha=args.alpha, beta=args.beta, gamma=args.gamma)
+    print(f"Workload: {dist.describe()}")
+    print(f"Costs:    {cost_model.describe()}\n")
+
+    # ------------------------------------------------------------------
+    # Plan
+    # ------------------------------------------------------------------
+    strategy_kwargs = {"seed": args.seed} if args.strategy == "brute_force" else {}
+    strategy = make_strategy(args.strategy, **strategy_kwargs)
+    sequence = strategy.sequence(dist, cost_model)
+    if not (0.0 < args.coverage < 1.0):
+        raise SystemExit("--coverage must lie strictly between 0 and 1")
+    sequence.ensure_covers(float(dist.quantile(args.coverage)))
+
+    pmf_seq = strategy.sequence(dist, cost_model)
+    stats_seq = strategy.sequence(dist, cost_model)
+    stats = cost_statistics(stats_seq, dist, cost_model, n_samples=5000, seed=args.seed)
+    pmf = reservation_count_pmf(pmf_seq, dist)
+
+    rows = []
+    cum = 0.0
+    for i, t in enumerate(sequence.values):
+        p_here = pmf[i] if i < len(pmf) else 0.0
+        cum += p_here
+        rows.append(
+            [
+                str(i + 1),
+                f"{t:.4g}",
+                f"{100.0 * p_here:.1f}%",
+                f"{100.0 * min(cum, 1.0):.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["#", "reserve", "P(job ends here)", "cumulative"],
+            rows,
+            title=f"Recommended sequence ({strategy.name})",
+        )
+    )
+
+    omniscient = cost_model.omniscient_expected_cost(dist)
+    print(f"\nExpected cost:        {stats.mean:.4f}")
+    print(f"vs clairvoyant bound: {stats.mean / omniscient:.3f}x ({omniscient:.4f})")
+    print(f"Cost std / p95 / p99: {stats.std:.4f} / {stats.cost_p95:.4f} / "
+          f"{stats.cost_p99:.4f}")
+    print(f"Expected #requests:   {stats.expected_reservations:.2f}")
+
+    if args.output:
+        from repro.io import PlanDocument, plan_to_json
+
+        doc = PlanDocument.from_sequence(
+            sequence,
+            cost_model,
+            strategy=strategy.name,
+            distribution={"name": dist.name, "describe": dist.describe()},
+            statistics={
+                "expected_cost": stats.mean,
+                "cost_std": stats.std,
+                "cost_p95": stats.cost_p95,
+                "cost_p99": stats.cost_p99,
+                "expected_reservations": stats.expected_reservations,
+                "omniscient_cost": omniscient,
+            },
+            notes=f"coverage quantile {args.coverage}",
+        )
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(plan_to_json(doc))
+        print(f"\nPlan written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

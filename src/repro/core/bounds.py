@@ -1,0 +1,61 @@
+"""Upper bounds on the optimal first reservation and cost (Theorem 2).
+
+For any distribution with finite second moment,
+
+``A_1 = E[X] + 1 + (alpha+beta)/(2 alpha) (E[X^2] - a^2)
+        + (alpha+beta+gamma)/alpha (E[X] - a)``
+
+bounds the optimal ``t_1``, and ``A_2 = beta E[X] + alpha A_1 + gamma``
+bounds the optimal expected cost.  The BRUTE-FORCE heuristic searches
+``t_1`` on ``[a, A_1]`` (or ``[a, b]`` for bounded supports).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.cost import CostModel
+
+__all__ = ["TheoremTwoBounds", "compute_bounds", "t1_search_interval"]
+
+
+@dataclass(frozen=True)
+class TheoremTwoBounds:
+    """The pair ``(A_1, A_2)`` of Eqs. (6)-(7)."""
+
+    a1: float
+    a2: float
+
+
+def compute_bounds(distribution, cost_model: CostModel) -> TheoremTwoBounds:
+    """Evaluate Eqs. (6)-(7) for ``distribution`` under ``cost_model``."""
+    mean = distribution.mean()
+    second = distribution.second_moment()
+    if not (math.isfinite(mean) and math.isfinite(second)):
+        raise ValueError(
+            f"Theorem 2 requires finite E[X] and E[X^2]; got mean={mean}, "
+            f"E[X^2]={second} for {distribution.describe()}"
+        )
+    a = distribution.lower
+    al, be, ga = cost_model.alpha, cost_model.beta, cost_model.gamma
+    a1 = (
+        mean
+        + 1.0
+        + (al + be) / (2.0 * al) * (second - a * a)
+        + (al + be + ga) / al * (mean - a)
+    )
+    a2 = be * mean + al * a1 + ga
+    return TheoremTwoBounds(a1=a1, a2=a2)
+
+
+def t1_search_interval(distribution, cost_model: CostModel) -> tuple[float, float]:
+    """Interval ``[a, b]`` over which BRUTE-FORCE scans ``t_1``.
+
+    Bounded support: the support itself (the optimum may be ``b`` exactly,
+    cf. Theorem 4 for Uniform).  Unbounded support: ``[a, A_1]``.
+    """
+    lo, hi = distribution.support()
+    if math.isfinite(hi):
+        return (lo, hi)
+    return (lo, compute_bounds(distribution, cost_model).a1)

@@ -1,0 +1,223 @@
+"""Convex reservation-cost extension (Appendix C).
+
+The affine model charges ``alpha t_r + beta min(t_r, t) + gamma`` per
+reservation.  Appendix C generalizes the reservation part to any smooth
+convex ``G``: a reservation of length ``t_r`` costs
+``G(t_r) + beta min(t_r, t)``, the expected cost becomes
+
+``E(S) = beta E[X] + sum_i (G(t_{i+1}) + beta t_i) P(X >= t_i)``
+
+and the optimality recurrence (Eq. 37) reads
+
+``t_i = G^{-1}( G'(t_{i-1}) (1-F(t_{i-2}))/f(t_{i-1})
+                + beta ((1-F(t_{i-1}))/f(t_{i-1}) - t_{i-1}) )``.
+
+Implemented cost shapes: :class:`AffineReservationCost` (recovers Eq. 11
+exactly, used as a consistency check) and :class:`QuadraticReservationCost`
+(superlinear pricing, e.g. surge-priced cloud capacity).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List
+
+import numpy as np
+
+from repro.core.sequence import ReservationSequence, SequenceError
+from repro.utils.numeric import MONOTONE_ATOL
+
+__all__ = [
+    "ConvexReservationCost",
+    "AffineReservationCost",
+    "QuadraticReservationCost",
+    "generate_convex_sequence",
+    "expected_cost_convex",
+    "brute_force_convex_t1",
+]
+
+
+class ConvexReservationCost(abc.ABC):
+    """A smooth convex, strictly increasing reservation cost ``G``."""
+
+    @abc.abstractmethod
+    def g(self, x: float) -> float:
+        """``G(x)``."""
+
+    @abc.abstractmethod
+    def g_prime(self, x: float) -> float:
+        """``G'(x)``."""
+
+    @abc.abstractmethod
+    def g_inverse(self, y: float) -> float:
+        """``G^{-1}(y)`` for ``y >= G(0)``."""
+
+
+class AffineReservationCost(ConvexReservationCost):
+    """``G(x) = alpha x + gamma`` — the base model, for cross-validation."""
+
+    def __init__(self, alpha: float = 1.0, gamma: float = 0.0):
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if gamma < 0:
+            raise ValueError(f"gamma must be nonnegative, got {gamma}")
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+
+    def g(self, x: float) -> float:
+        return self.alpha * x + self.gamma
+
+    def g_prime(self, x: float) -> float:
+        return self.alpha
+
+    def g_inverse(self, y: float) -> float:
+        return (y - self.gamma) / self.alpha
+
+
+class QuadraticReservationCost(ConvexReservationCost):
+    """``G(x) = a2 x^2 + a1 x + a0`` with ``a2 > 0``, increasing on ``x >= 0``."""
+
+    def __init__(self, a2: float, a1: float = 0.0, a0: float = 0.0):
+        if a2 <= 0:
+            raise ValueError(f"a2 must be positive for strict convexity, got {a2}")
+        if a1 < 0:
+            raise ValueError(
+                f"a1 must be nonnegative so G is increasing on [0, inf), got {a1}"
+            )
+        if a0 < 0:
+            raise ValueError(f"a0 must be nonnegative, got {a0}")
+        self.a2, self.a1, self.a0 = float(a2), float(a1), float(a0)
+
+    def g(self, x: float) -> float:
+        return self.a2 * x * x + self.a1 * x + self.a0
+
+    def g_prime(self, x: float) -> float:
+        return 2.0 * self.a2 * x + self.a1
+
+    def g_inverse(self, y: float) -> float:
+        c = self.a0 - y
+        disc = self.a1 * self.a1 - 4.0 * self.a2 * c
+        if disc < 0:
+            raise ValueError(f"G^-1 undefined: y={y} below the minimum of G")
+        return (-self.a1 + math.sqrt(disc)) / (2.0 * self.a2)
+
+
+def generate_convex_sequence(
+    t1: float,
+    distribution,
+    cost: ConvexReservationCost,
+    beta: float = 0.0,
+    tail_tol: float = 1e-12,
+    max_len: int = 10_000,
+) -> List[float]:
+    """Materialize the Eq. (37) sequence started at ``t1``."""
+    if beta < 0:
+        raise ValueError(f"beta must be nonnegative, got {beta}")
+    lo, hi = distribution.support()
+    t1 = float(t1)
+    if t1 <= 0:
+        raise SequenceError(f"t1 must be positive, got {t1}")
+    if t1 >= hi:
+        return [min(t1, hi)]
+    values = [t1]
+    prev2, prev1 = 0.0, t1
+    while True:
+        if len(values) >= max_len:
+            raise SequenceError(
+                f"convex recurrence from t1={t1} exceeded {max_len} terms"
+            )
+        f = float(distribution.pdf(prev1))
+        if not np.isfinite(f) or f <= 0.0:
+            raise SequenceError(
+                f"density vanished at t={prev1}; Eq. (37) undefined"
+            )
+        inner = cost.g_prime(prev1) * float(distribution.sf(prev2)) / f + beta * (
+            float(distribution.sf(prev1)) / f - prev1
+        )
+        try:
+            nxt = cost.g_inverse(inner)
+        except ValueError as exc:
+            raise SequenceError(f"convex recurrence from t1={t1}: {exc}") from None
+        if not np.isfinite(nxt):
+            raise SequenceError(
+                f"convex recurrence from t1={t1} produced non-finite value"
+            )
+        if nxt >= hi:
+            values.append(hi)
+            return values
+        if nxt <= prev1 + MONOTONE_ATOL:
+            raise SequenceError(
+                f"convex recurrence from t1={t1} stopped increasing "
+                f"({prev1} -> {nxt} at index {len(values)})"
+            )
+        values.append(nxt)
+        prev2, prev1 = prev1, nxt
+        if float(distribution.sf(prev1)) < tail_tol:
+            return values
+
+
+def expected_cost_convex(
+    reservations,
+    distribution,
+    cost: ConvexReservationCost,
+    beta: float = 0.0,
+    tail_tol: float = 1e-12,
+) -> float:
+    """``E(S) = beta E[X] + sum_i (G(t_{i+1}) + beta t_i) P(X >= t_i)``.
+
+    ``reservations`` must already cover the distribution tail (survival below
+    ``tail_tol`` at the last reservation) or the bound of a finite support.
+    """
+    values = np.asarray(
+        reservations.values if isinstance(reservations, ReservationSequence) else reservations,
+        dtype=float,
+    )
+    hi = distribution.upper
+    total = beta * distribution.mean() + cost.g(float(values[0]))
+    for i in range(len(values) - 1):
+        surv = float(distribution.sf(values[i]))
+        if surv <= 0.0:
+            return total
+        total += (cost.g(float(values[i + 1])) + beta * float(values[i])) * surv
+    last_surv = float(distribution.sf(values[-1]))
+    if values[-1] < hi and last_surv > tail_tol:
+        raise SequenceError(
+            f"sequence ends at {values[-1]} with survival {last_surv:.3g} "
+            f"> tail_tol={tail_tol:.3g}; tail not covered"
+        )
+    return total
+
+
+def brute_force_convex_t1(
+    distribution,
+    cost: ConvexReservationCost,
+    beta: float = 0.0,
+    n_grid: int = 500,
+    t1_max: float | None = None,
+) -> tuple[float, float, List[float]]:
+    """Grid-search ``t_1`` for the convex model; returns
+    ``(best_t1, best_cost, best_sequence)``.
+
+    For unbounded supports the scan interval defaults to
+    ``[a, mean + 10 std]`` (Theorem 2 only covers the affine case; a moment
+    bound of the same flavour is adequate for the quadratic experiments).
+    """
+    lo, hi = distribution.support()
+    if t1_max is None:
+        t1_max = hi if math.isfinite(hi) else distribution.mean() + 10.0 * distribution.std()
+    best = (math.nan, math.inf, [])  # type: tuple[float, float, List[float]]
+    for t1 in np.linspace(max(lo, 1e-9), t1_max, n_grid):
+        try:
+            seq = generate_convex_sequence(float(t1), distribution, cost, beta)
+            val = expected_cost_convex(seq, distribution, cost, beta)
+        except SequenceError:
+            continue
+        if val < best[1]:
+            best = (float(t1), float(val), seq)
+    if not np.isfinite(best[1]):
+        raise SequenceError(
+            "no feasible t1 found for the convex model on "
+            f"{distribution.describe()}"
+        )
+    return best

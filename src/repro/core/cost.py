@@ -1,0 +1,107 @@
+"""Affine reservation cost model (Eq. 1-2 of the paper).
+
+A reservation of length ``t_r`` for a job that actually runs ``t`` costs
+
+``alpha * t_r + beta * min(t_r, t) + gamma``
+
+with ``alpha > 0``, ``beta >= 0``, ``gamma >= 0``.  The two platform models of
+the evaluation section are provided as presets:
+
+* :meth:`CostModel.reservation_only` — AWS Reserved-Instance pricing
+  (pay-what-you-request): ``alpha=1, beta=gamma=0``;
+* :meth:`CostModel.neurohpc` — HPC queue model where cost is turnaround time:
+  ``alpha=0.95`` (wait-time slope), ``beta=1`` (execution), ``gamma=1.05`` h
+  (wait-time intercept), fitted from the Intrepid logs of Fig. 2(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters ``(alpha, beta, gamma)`` of the affine cost of Eq. (1)."""
+
+    alpha: float = 1.0
+    beta: float = 0.0
+    gamma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+        if self.beta < 0:
+            raise ValueError(f"beta must be nonnegative, got {self.beta}")
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be nonnegative, got {self.gamma}")
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def reservation_only(cls, alpha: float = 1.0) -> "CostModel":
+        """RESERVATIONONLY instance: cost linear in the request only."""
+        return cls(alpha=alpha, beta=0.0, gamma=0.0)
+
+    @classmethod
+    def neurohpc(cls) -> "CostModel":
+        """NEUROHPC instance (Section 5.3), times expressed in hours."""
+        return cls(alpha=0.95, beta=1.0, gamma=1.05)
+
+    @property
+    def is_reservation_only(self) -> bool:
+        return self.beta == 0.0 and self.gamma == 0.0
+
+    # ------------------------------------------------------------------
+    # Single-reservation and cumulative costs
+    # ------------------------------------------------------------------
+    def reservation_cost(self, reserved, executed):
+        """Cost of one reservation (Eq. 1), vectorized in both arguments."""
+        reserved = np.asarray(reserved, dtype=float)
+        executed = np.asarray(executed, dtype=float)
+        out = (
+            self.alpha * reserved
+            + self.beta * np.minimum(reserved, executed)
+            + self.gamma
+        )
+        return out if out.ndim else float(out)
+
+    def failed_reservation_cost(self, reserved):
+        """Cost of a reservation the job did not fit in: ``(alpha+beta) t + gamma``."""
+        reserved = np.asarray(reserved, dtype=float)
+        out = (self.alpha + self.beta) * reserved + self.gamma
+        return out if out.ndim else float(out)
+
+    def sequence_cost(self, reservations: Sequence[float], execution_time: float) -> float:
+        """Total cost ``C(k, t)`` of running a job of duration ``execution_time``
+        through ``reservations`` (Eq. 2).
+
+        ``k`` is the first index with ``t <= t_k``; all earlier reservations
+        are paid in full (reservation + wasted execution + overhead).
+        """
+        t = float(execution_time)
+        if t < 0:
+            raise ValueError(f"execution time must be nonnegative, got {t}")
+        total = 0.0
+        for length in reservations:
+            if t <= length:
+                return total + float(self.reservation_cost(length, t))
+            total += float(self.failed_reservation_cost(length))
+        last = reservations[-1] if len(reservations) else 0.0
+        raise ValueError(
+            f"reservation sequence (last={last}) does not cover execution "
+            f"time {t}; extend the sequence before costing"
+        )
+
+    def omniscient_expected_cost(self, distribution) -> float:
+        """Expected cost ``E^o = (alpha+beta) E[X] + gamma`` of the omniscient
+        scheduler that reserves exactly the execution time (Section 5.1)."""
+        return (self.alpha + self.beta) * distribution.mean() + self.gamma
+
+    def describe(self) -> str:
+        return f"CostModel(alpha={self.alpha:g}, beta={self.beta:g}, gamma={self.gamma:g})"

@@ -1,0 +1,172 @@
+"""Optimal-sequence recurrence (Theorem 3 / Proposition 1, Eq. 11).
+
+Given the first reservation ``t_1``, every later reservation of an *optimal*
+sequence is pinned down by
+
+``t_i = (1 - F(t_{i-2})) / f(t_{i-1})
+        + (beta/alpha) * ((1 - F(t_{i-1})) / f(t_{i-1}) - t_{i-1})
+        - gamma / alpha``
+
+so the whole STOCHASTIC problem reduces to a one-dimensional search over
+``t_1``.  Not every ``t_1`` yields a valid (strictly increasing) sequence —
+the paper discards those candidates (the gaps in Fig. 3) and so do we, by
+raising :class:`RecurrenceError` with the failing index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence, SequenceError
+from repro.utils.numeric import MONOTONE_ATOL
+
+__all__ = [
+    "RecurrenceError",
+    "next_reservation",
+    "generate_optimal_sequence",
+    "optimal_sequence_from_t1",
+]
+
+#: Stop growing a materialized prefix once the survival probability at the
+#: latest reservation is below this (the expected-cost series ignores the
+#: remainder anyway); the extender keeps the recurrence alive past it.
+PREFIX_TAIL_TOL = 1e-12
+
+#: Hard cap on the prefix length generated eagerly.
+MAX_PREFIX = 10_000
+
+
+class RecurrenceError(SequenceError):
+    """The Eq. (11) recurrence broke down (non-increasing / non-finite)."""
+
+    def __init__(self, message: str, index: int, values: Optional[List[float]] = None):
+        super().__init__(message)
+        self.index = index
+        self.values = values or []
+
+
+def next_reservation(
+    t_prev2: float,
+    t_prev1: float,
+    distribution,
+    cost_model: CostModel,
+) -> float:
+    """One step of Eq. (11): compute ``t_i`` from ``t_{i-2}, t_{i-1}``."""
+    f = float(distribution.pdf(t_prev1))
+    if not np.isfinite(f) or f <= 0.0:
+        raise RecurrenceError(
+            f"density vanished at t={t_prev1} (f={f}); Eq. (11) undefined",
+            index=-1,
+        )
+    sf_prev2 = float(distribution.sf(t_prev2))
+    sf_prev1 = float(distribution.sf(t_prev1))
+    a, b, g = cost_model.alpha, cost_model.beta, cost_model.gamma
+    return sf_prev2 / f + (b / a) * (sf_prev1 / f - t_prev1) - g / a
+
+
+def generate_optimal_sequence(
+    t1: float,
+    distribution,
+    cost_model: CostModel,
+    tail_tol: float = PREFIX_TAIL_TOL,
+    max_len: int = MAX_PREFIX,
+) -> List[float]:
+    """Materialize the Eq. (11) sequence started at ``t1`` as a list.
+
+    Generation stops when either (a) a reservation reaches the distribution's
+    upper bound (bounded support: ``F(t_i) = 1``), or (b) the survival
+    probability falls below ``tail_tol`` (unbounded support: the cost series
+    has converged).  Raises :class:`RecurrenceError` if the recurrence stalls
+    or decreases, which marks ``t1`` as infeasible (Fig. 3 gaps).
+    """
+    lo, hi = distribution.support()
+    t1 = float(t1)
+    if t1 <= 0.0:
+        raise RecurrenceError(f"t1 must be positive, got {t1}", index=0)
+    if t1 >= hi:
+        # A single reservation at (or beyond) the upper bound covers all jobs.
+        return [min(t1, hi)]
+
+    values: List[float] = [t1]
+    prev2, prev1 = 0.0, t1
+    while True:
+        if len(values) >= max_len:
+            raise RecurrenceError(
+                f"recurrence from t1={t1} exceeded {max_len} terms "
+                f"(last={prev1}, survival={float(distribution.sf(prev1)):.3g})",
+                index=len(values),
+                values=values,
+            )
+        try:
+            nxt = next_reservation(prev2, prev1, distribution, cost_model)
+        except RecurrenceError as exc:
+            raise RecurrenceError(str(exc), index=len(values), values=values) from None
+        if not np.isfinite(nxt):
+            raise RecurrenceError(
+                f"recurrence from t1={t1} produced non-finite t_{len(values) + 1}",
+                index=len(values),
+                values=values,
+            )
+        if nxt >= hi:
+            # Bounded support: clamp the final reservation to the bound.
+            values.append(hi)
+            return values
+        if nxt <= prev1 + MONOTONE_ATOL:
+            raise RecurrenceError(
+                f"recurrence from t1={t1} stopped increasing at index "
+                f"{len(values)}: t={prev1} -> {nxt}",
+                index=len(values),
+                values=values,
+            )
+        values.append(nxt)
+        prev2, prev1 = prev1, nxt
+        if float(distribution.sf(prev1)) < tail_tol:
+            return values
+
+
+def optimal_sequence_from_t1(
+    t1: float,
+    distribution,
+    cost_model: CostModel,
+    eager: bool = False,
+    tail_tol: float = PREFIX_TAIL_TOL,
+) -> ReservationSequence:
+    """Lazy Eq. (11) sequence starting at ``t1``.
+
+    By default only ``t_1`` is materialized and the extender applies Eq. (11)
+    on demand — this matches the paper's brute-force procedure, where a
+    candidate sequence only ever needs to cover the largest *sampled*
+    execution time before its validity is decided.  (Near the optimum the
+    recurrence sits on a feasibility separatrix: sequences from ``t_1``
+    slightly below it collapse eventually, but only beyond the range any
+    finite Monte-Carlo evaluation explores.)
+
+    With ``eager=True`` the whole prefix down to survival ``tail_tol`` is
+    generated up front, raising :class:`RecurrenceError` immediately for
+    infeasible candidates — the right mode for exact series evaluation.
+    """
+    hi = distribution.upper
+    if eager:
+        values = generate_optimal_sequence(t1, distribution, cost_model, tail_tol)
+    else:
+        t1 = float(t1)
+        if t1 <= 0.0:
+            raise RecurrenceError(f"t1 must be positive, got {t1}", index=0)
+        values = [min(t1, hi)]
+
+    def extend(current: np.ndarray) -> float:
+        prev2 = float(current[-2]) if current.size >= 2 else 0.0
+        prev1 = float(current[-1])
+        if prev1 >= hi:
+            raise SequenceError(
+                f"sequence already covers the support (last={prev1}, upper={hi})"
+            )
+        nxt = next_reservation(prev2, prev1, distribution, cost_model)
+        return min(nxt, hi) if np.isfinite(hi) else nxt
+
+    extender = None if (values[-1] >= hi) else extend
+    return ReservationSequence(values, extend=extender, name=f"eq11(t1={t1:.6g})")

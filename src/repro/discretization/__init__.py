@@ -1,0 +1,23 @@
+"""Truncation and discretization of continuous laws (Section 4.2.1)."""
+
+from repro.discretization.schemes import (
+    SCHEMES,
+    discretize,
+    equal_probability,
+    equal_time,
+)
+from repro.discretization.truncation import (
+    DEFAULT_EPSILON,
+    TruncationResult,
+    truncation_bound,
+)
+
+__all__ = [
+    "SCHEMES",
+    "discretize",
+    "equal_probability",
+    "equal_time",
+    "DEFAULT_EPSILON",
+    "TruncationResult",
+    "truncation_bound",
+]

@@ -1,0 +1,89 @@
+"""Discretization schemes (Section 4.2.1).
+
+Both schemes map a (possibly truncated) continuous law onto ``n`` pairs
+``(v_i, f_i)``:
+
+* **EQUAL-PROBABILITY** — ``v_i = Q(i F(b)/n)`` with uniform masses
+  ``f_i = F(b)/n``: fine resolution where the density is high;
+* **EQUAL-TIME** — ``v_i = a + i (b-a)/n`` with masses
+  ``f_i = F(v_i) - F(v_{i-1})``: fine resolution in time, cheap tails.
+
+When the law is unbounded, the masses sum to ``F(b) = 1 - eps`` — the
+deficit is deliberately kept (see :class:`DiscreteDistribution`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.discretization.truncation import DEFAULT_EPSILON, truncation_bound
+from repro.distributions.discrete import DiscreteDistribution
+from repro.utils.numeric import MONOTONE_ATOL
+
+__all__ = ["equal_probability", "equal_time", "discretize", "SCHEMES"]
+
+
+def _dedupe(values: np.ndarray, masses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Merge duplicate support points (quantile collisions in flat CDF
+    regions), accumulating their masses on the retained point."""
+    keep = np.concatenate([[True], np.diff(values) > MONOTONE_ATOL])
+    if keep.all():
+        return values, masses
+    groups = np.cumsum(keep) - 1
+    merged = np.zeros(int(groups[-1]) + 1)
+    np.add.at(merged, groups, masses)
+    return values[keep], merged
+
+
+def equal_probability(
+    distribution, n: int, epsilon: float = DEFAULT_EPSILON
+) -> DiscreteDistribution:
+    """EQUAL-PROBABILITY discretization with ``n`` points."""
+    if n < 1:
+        raise ValueError(f"need at least one sample, got n={n}")
+    trunc = truncation_bound(distribution, epsilon)
+    fb = float(distribution.cdf(trunc.upper))
+    qs = np.arange(1, n + 1) * (fb / n)
+    values = np.asarray(distribution.quantile(qs), dtype=float)
+    # Guard the final point against quantile round-off past the bound.
+    values[-1] = min(values[-1], trunc.upper)
+    masses = np.full(n, fb / n)
+    values, masses = _dedupe(values, masses)
+    return DiscreteDistribution(values, masses)
+
+
+def equal_time(
+    distribution, n: int, epsilon: float = DEFAULT_EPSILON
+) -> DiscreteDistribution:
+    """EQUAL-TIME discretization with ``n`` points."""
+    if n < 1:
+        raise ValueError(f"need at least one sample, got n={n}")
+    trunc = truncation_bound(distribution, epsilon)
+    a, b = trunc.lower, trunc.upper
+    values = a + np.arange(1, n + 1) * ((b - a) / n)
+    edges = np.concatenate([[a], values])
+    cdf = np.asarray(distribution.cdf(edges), dtype=float)
+    masses = np.diff(cdf)
+    # Zero-mass points contribute nothing but inflate the DP; drop them
+    # (keeping the last point, which anchors the sequence at b).
+    keep = (masses > 0.0) | (np.arange(n) == n - 1)
+    values, masses = values[keep], np.maximum(masses[keep], 0.0)
+    values, masses = _dedupe(values, masses)
+    return DiscreteDistribution(values, masses)
+
+
+#: Scheme registry used by the experiment harness.
+SCHEMES = {
+    "equal_probability": equal_probability,
+    "equal_time": equal_time,
+}
+
+
+def discretize(
+    distribution, n: int, scheme: str, epsilon: float = DEFAULT_EPSILON
+) -> DiscreteDistribution:
+    """Dispatch to a scheme by name (``equal_probability`` / ``equal_time``)."""
+    key = scheme.lower().replace("-", "_")
+    if key not in SCHEMES:
+        raise KeyError(f"unknown scheme {scheme!r}; known: {sorted(SCHEMES)}")
+    return SCHEMES[key](distribution, n, epsilon)

@@ -1,0 +1,49 @@
+"""Tail truncation of unbounded distributions (Section 4.2.1).
+
+Before discretizing, an infinite-support law is truncated at
+``b = Q(1 - eps)``: the final ``eps`` quantile is discarded.  The paper uses
+``eps = 1e-7`` in the evaluation; a smaller ``eps`` gives a better sampling
+at the price of a wider (and therefore coarser, for EQUAL-TIME) interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["TruncationResult", "truncation_bound", "DEFAULT_EPSILON"]
+
+#: Value used throughout the paper's evaluation section.
+DEFAULT_EPSILON = 1e-7
+
+
+@dataclass(frozen=True)
+class TruncationResult:
+    """Interval ``[a, b]`` retained after truncation, plus the discarded mass."""
+
+    lower: float
+    upper: float
+    epsilon: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def truncation_bound(distribution, epsilon: float = DEFAULT_EPSILON) -> TruncationResult:
+    """Compute the discretization interval for ``distribution``.
+
+    Bounded supports are returned unchanged (``epsilon`` reported as 0);
+    unbounded ones are cut at ``Q(1 - epsilon)``.
+    """
+    if not (0.0 < epsilon < 1.0):
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    lo, hi = distribution.support()
+    if math.isfinite(hi):
+        return TruncationResult(lower=lo, upper=hi, epsilon=0.0)
+    b = float(distribution.quantile(1.0 - epsilon))
+    if not math.isfinite(b) or b <= lo:
+        raise ValueError(
+            f"truncation failed for {distribution.describe()}: Q(1-{epsilon}) = {b}"
+        )
+    return TruncationResult(lower=lo, upper=b, epsilon=epsilon)

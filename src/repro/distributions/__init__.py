@@ -1,0 +1,54 @@
+"""Probability-distribution substrate (Table 1 / Table 5 / Appendix A-B).
+
+Nine continuous laws with closed-form CDF/quantile/moments and conditional
+expectations, a discrete distribution type for the DP strategy, LogNormal
+trace fitting, and the registry of the paper's exact instantiations.
+"""
+
+from repro.distributions.base import Distribution, SupportError
+from repro.distributions.beta import Beta
+from repro.distributions.bounded_pareto import BoundedPareto
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.exponential import Exponential
+from repro.distributions.fitting import LogNormalFit, fit_lognormal, ks_distance
+from repro.distributions.gamma import Gamma
+from repro.distributions.lognormal import LogNormal, lognormal_from_moments
+from repro.distributions.pareto import Pareto
+from repro.distributions.registry import (
+    DISTRIBUTION_FACTORIES,
+    PAPER_ORDER,
+    make_distribution,
+    paper_distribution,
+    paper_distributions,
+)
+from repro.distributions.truncated_normal import TruncatedNormal
+from repro.distributions.truncated import LeftTruncated
+from repro.distributions.uniform import Uniform
+from repro.distributions.weibull import Weibull
+
+__all__ = [
+    "Distribution",
+    "SupportError",
+    "Exponential",
+    "Weibull",
+    "Gamma",
+    "LogNormal",
+    "lognormal_from_moments",
+    "TruncatedNormal",
+    "Pareto",
+    "Uniform",
+    "LeftTruncated",
+    "Beta",
+    "BoundedPareto",
+    "DiscreteDistribution",
+    "EmpiricalDistribution",
+    "LogNormalFit",
+    "fit_lognormal",
+    "ks_distance",
+    "DISTRIBUTION_FACTORIES",
+    "PAPER_ORDER",
+    "make_distribution",
+    "paper_distribution",
+    "paper_distributions",
+]

@@ -1,0 +1,184 @@
+"""Abstract distribution API used throughout the library.
+
+The paper (Table 5 / Appendix A) works with nine classical laws, each needing
+a richer interface than :mod:`scipy.stats` exposes uniformly:
+
+* pdf / CDF / survival / quantile (Table 5 closed forms),
+* mean, variance and the second moment (for the ``A_1`` bound of Theorem 2),
+* the conditional expectation ``E[X | X > tau]`` (Appendix B closed forms,
+  driving the MEAN-BY-MEAN heuristic),
+* reproducible sampling from an explicit ``numpy.random.Generator``.
+
+Concrete subclasses implement the closed forms; this base class provides
+numeric fallbacks (quadrature over the survival function) so any new law only
+*has* to provide pdf/CDF/quantile, and so tests can cross-check every closed
+form against the generic path.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy import integrate
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["Distribution", "SupportError"]
+
+
+class SupportError(ValueError):
+    """Raised when an argument falls outside a distribution's support."""
+
+
+class Distribution(abc.ABC):
+    """A nonnegative continuous probability law for job execution times.
+
+    Subclasses must define :attr:`name`, :meth:`support`, :meth:`pdf`,
+    :meth:`cdf` and :meth:`quantile`; everything else has a numerically robust
+    default implementation.
+    """
+
+    #: Short identifier used by the registry and experiment tables.
+    name: str = "distribution"
+
+    # ------------------------------------------------------------------
+    # Mandatory interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def support(self) -> Tuple[float, float]:
+        """Return ``(lower, upper)``; ``upper`` may be ``math.inf``."""
+
+    @abc.abstractmethod
+    def pdf(self, t):
+        """Probability density at ``t`` (vectorized; 0 outside the support)."""
+
+    @abc.abstractmethod
+    def cdf(self, t):
+        """Cumulative distribution ``F(t) = P(X <= t)`` (vectorized)."""
+
+    @abc.abstractmethod
+    def quantile(self, q):
+        """Quantile function ``Q(q) = inf { t : F(t) >= q }`` (vectorized)."""
+
+    # ------------------------------------------------------------------
+    # Support helpers
+    # ------------------------------------------------------------------
+    @property
+    def lower(self) -> float:
+        return self.support()[0]
+
+    @property
+    def upper(self) -> float:
+        return self.support()[1]
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when the execution time has a finite upper bound."""
+        return math.isfinite(self.upper)
+
+    def _check_support(self) -> None:
+        lo, hi = self.support()
+        if lo < 0:
+            raise SupportError(
+                f"{self.name}: execution times must be nonnegative, got lower={lo}"
+            )
+        if hi <= lo:
+            raise SupportError(f"{self.name}: empty support [{lo}, {hi}]")
+
+    # ------------------------------------------------------------------
+    # Derived probability functions
+    # ------------------------------------------------------------------
+    def sf(self, t):
+        """Survival function ``P(X >= t)``.
+
+        For the continuous laws used here ``P(X >= t) == P(X > t)``, which is
+        the weight appearing in the Theorem 1 cost series.
+        """
+        return 1.0 - self.cdf(t)
+
+    def median(self) -> float:
+        return float(self.quantile(0.5))
+
+    # ------------------------------------------------------------------
+    # Moments — numeric defaults, overridden with closed forms
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """``E[X]`` — default: ``lower + \\int sf`` over the support."""
+        lo, hi = self.support()
+        tail, _ = integrate.quad(self.sf, lo, hi, limit=200)
+        return lo + tail
+
+    def second_moment(self) -> float:
+        """``E[X^2]`` — default: ``lo^2 + 2 \\int t.sf(t) dt`` (integration by parts)."""
+        lo, hi = self.support()
+        tail, _ = integrate.quad(lambda t: t * self.sf(t), lo, hi, limit=200)
+        return lo * lo + 2.0 * tail
+
+    def var(self) -> float:
+        m = self.mean()
+        return self.second_moment() - m * m
+
+    def std(self) -> float:
+        return math.sqrt(max(self.var(), 0.0))
+
+    # ------------------------------------------------------------------
+    # Conditional expectation  E[X | X > tau]   (Eq. 14)
+    # ------------------------------------------------------------------
+    def conditional_expectation(self, tau: float) -> float:
+        """``E[X | X > tau]`` used by the MEAN-BY-MEAN heuristic.
+
+        Subclasses override this with the Appendix B closed forms; this
+        default integrates the survival function:
+
+        ``E[X | X > tau] = tau + (1 / sf(tau)) * \\int_tau^hi sf(t) dt``.
+        """
+        lo, hi = self.support()
+        tau = float(tau)
+        if tau < lo:
+            return self.mean()
+        if tau >= hi:
+            raise SupportError(
+                f"{self.name}: conditional expectation undefined at tau={tau} "
+                f">= upper support bound {hi}"
+            )
+        s = float(self.sf(tau))
+        if s <= 0.0:
+            raise SupportError(
+                f"{self.name}: survival probability vanished at tau={tau}"
+            )
+        tail, _ = integrate.quad(self.sf, tau, hi, limit=200)
+        return tau + tail / s
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def rvs(self, size: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` execution times.
+
+        Default: inverse-transform sampling through :meth:`quantile`, which is
+        exact for every law in this library and keeps sampling reproducible
+        from a single uniform stream.
+        """
+        if size <= 0:
+            raise ValueError(f"sample size must be positive, got {size}")
+        rng = as_generator(seed)
+        u = rng.random(size)
+        return np.asarray(self.quantile(u), dtype=float)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable description used in experiment output."""
+        lo, hi = self.support()
+        hi_s = "inf" if math.isinf(hi) else f"{hi:g}"
+        return (
+            f"{self.name}(support=[{lo:g}, {hi_s}], mean={self.mean():.4g}, "
+            f"std={self.std():.4g})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"

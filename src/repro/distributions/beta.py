@@ -1,0 +1,96 @@
+"""Beta distribution ``Beta(alpha, beta)`` on ``[0, 1]`` (Table 1 / Table 5).
+
+Paper instantiation: ``alpha = beta = 2``.  The MEAN-BY-MEAN recursion
+(Theorem 12) simplifies, using ``B(a+1,b)/B(a,b) = a/(a+b)`` and the
+regularized incomplete beta ``I_x``, to
+
+``E[X | X > tau] = a/(a+b) * (1 - I_tau(a+1, b)) / (1 - I_tau(a, b))``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import special
+
+from repro.distributions.base import Distribution, SupportError
+
+__all__ = ["Beta"]
+
+
+class Beta(Distribution):
+    """``Beta(a, b)`` with density ``t^{a-1} (1-t)^{b-1} / B(a, b)`` on ``[0, 1]``."""
+
+    name = "beta"
+
+    def __init__(self, alpha: float = 2.0, beta: float = 2.0):
+        if alpha <= 0 or beta <= 0:
+            raise ValueError(f"beta parameters must be positive, got ({alpha}, {beta})")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, 1.0)
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        inside = (t >= 0.0) & (t <= 1.0)
+        tt = np.clip(t, 0.0, 1.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_body = (
+                (self.alpha - 1.0) * np.log(np.where(tt > 0, tt, 1.0))
+                + (self.beta - 1.0) * np.log(np.where(tt < 1, 1.0 - tt, 1.0))
+                - special.betaln(self.alpha, self.beta)
+            )
+            body = np.exp(log_body)
+        # Edge behaviour for shape parameters < 1 (density diverges) or > 1 (0).
+        body = np.where((tt == 0.0) & (self.alpha < 1.0), np.inf, body)
+        body = np.where((tt == 0.0) & (self.alpha > 1.0), 0.0, body)
+        body = np.where((tt == 1.0) & (self.beta < 1.0), np.inf, body)
+        body = np.where((tt == 1.0) & (self.beta > 1.0), 0.0, body)
+        out = np.where(inside, body, 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = special.betainc(self.alpha, self.beta, np.clip(t, 0.0, 1.0))
+        return out if out.ndim else float(out)
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        out = special.betaincinv(self.alpha, self.beta, q)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return self.alpha / (self.alpha + self.beta)
+
+    def var(self) -> float:
+        a, b = self.alpha, self.beta
+        return a * b / ((a + b) ** 2 * (a + b + 1.0))
+
+    def second_moment(self) -> float:
+        a, b = self.alpha, self.beta
+        return a * (a + 1.0) / ((a + b) * (a + b + 1.0))
+
+    def conditional_expectation(self, tau: float) -> float:
+        """Theorem 12 via regularized incomplete beta ratios."""
+        tau = float(tau)
+        if tau <= 0.0:
+            return self.mean()
+        if tau >= 1.0:
+            raise SupportError(
+                f"beta conditional expectation undefined at tau={tau} >= 1"
+            )
+        a, b = self.alpha, self.beta
+        num = special.betaincc(a + 1.0, b, tau)
+        den = special.betaincc(a, b, tau)
+        if den <= 0.0:
+            raise SupportError(f"beta survival probability vanished at tau={tau}")
+        return self.mean() * float(num) / float(den)
+
+    def describe(self) -> str:
+        return f"Beta(alpha={self.alpha:g}, beta={self.beta:g})"

@@ -1,0 +1,115 @@
+"""Discrete execution-time distributions ``(v_i, f_i)`` (Section 4.2).
+
+The dynamic-programming strategy of Theorem 5 operates on a finite support
+``v_1 < v_2 < ... < v_n`` with probabilities ``f_i``.  When such a
+distribution is obtained by truncating an unbounded continuous law at
+``b = Q(1 - eps)``, the masses sum to ``F(b) = 1 - eps`` rather than 1 — the
+class keeps the raw masses and exposes both normalized and raw views, because
+the DP renormalizes suffixes itself.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.numeric import is_strictly_increasing
+
+__all__ = ["DiscreteDistribution"]
+
+
+class DiscreteDistribution:
+    """Finite support ``values`` with nonnegative ``masses``.
+
+    Parameters
+    ----------
+    values:
+        Strictly increasing possible execution times.
+    masses:
+        Probability of each value.  May sum to less than 1 when the
+        distribution is a truncation of an unbounded law (the deficit is the
+        discarded tail mass ``eps``).
+    """
+
+    def __init__(self, values: Sequence[float], masses: Sequence[float]):
+        values = np.asarray(values, dtype=float)
+        masses = np.asarray(masses, dtype=float)
+        if values.ndim != 1 or masses.ndim != 1:
+            raise ValueError("values and masses must be one-dimensional")
+        if values.size == 0:
+            raise ValueError("discrete distribution needs at least one value")
+        if values.size != masses.size:
+            raise ValueError(
+                f"length mismatch: {values.size} values vs {masses.size} masses"
+            )
+        if not is_strictly_increasing(values):
+            raise ValueError("discrete support must be strictly increasing")
+        if np.any(masses < 0.0):
+            raise ValueError("masses must be nonnegative")
+        total = float(masses.sum())
+        if total <= 0.0:
+            raise ValueError("total probability mass must be positive")
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"total probability mass exceeds 1: {total}")
+        self.values = values
+        self.masses = masses
+        self.total_mass = min(total, 1.0)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def tail_deficit(self) -> float:
+        """Probability mass discarded by truncation (``eps`` in the paper)."""
+        return max(0.0, 1.0 - self.total_mass)
+
+    def normalized(self) -> "DiscreteDistribution":
+        """Return a copy whose masses sum to exactly 1."""
+        return DiscreteDistribution(self.values, self.masses / self.masses.sum())
+
+    def mean(self) -> float:
+        """Mean under the normalized masses."""
+        return float(np.dot(self.values, self.masses) / self.masses.sum())
+
+    def var(self) -> float:
+        m = self.mean()
+        second = float(np.dot(self.values**2, self.masses) / self.masses.sum())
+        return second - m * m
+
+    def cdf(self, t) -> np.ndarray | float:
+        """``P(X <= t)`` under the *raw* masses (vectorized)."""
+        t = np.asarray(t, dtype=float)
+        idx = np.searchsorted(self.values, t, side="right")
+        cum = np.concatenate([[0.0], np.cumsum(self.masses)])
+        out = cum[idx]
+        return out if out.ndim else float(out)
+
+    def sf(self, t) -> np.ndarray | float:
+        """``P(X >= t)`` = raw tail mass at or above ``t`` plus the deficit.
+
+        The truncated tail is counted as "job still running", matching the
+        paper's treatment where the DP sequence is extended beyond ``b`` by a
+        fallback heuristic.
+        """
+        t = np.asarray(t, dtype=float)
+        idx = np.searchsorted(self.values, t, side="left")
+        tail = np.concatenate([np.cumsum(self.masses[::-1])[::-1], [0.0]])
+        out = tail[idx] + self.tail_deficit
+        return out if out.ndim else float(out)
+
+    def rvs(self, size: int, seed=None) -> np.ndarray:
+        """Sample from the normalized masses."""
+        from repro.utils.rng import as_generator
+
+        if size <= 0:
+            raise ValueError(f"sample size must be positive, got {size}")
+        rng = as_generator(seed)
+        p = self.masses / self.masses.sum()
+        return rng.choice(self.values, size=size, p=p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DiscreteDistribution n={len(self)} support=[{self.values[0]:g}, "
+            f"{self.values[-1]:g}] mass={self.total_mass:.6f}>"
+        )

@@ -1,0 +1,74 @@
+"""Exponential distribution ``Exp(lambda)`` (Table 1 / Table 5).
+
+The memoryless law: ``E[X | X > tau] = tau + 1/lambda`` makes the
+MEAN-BY-MEAN sequence an arithmetic progression, and Proposition 2 shows the
+optimal RESERVATIONONLY sequence scales as ``s_i / lambda`` where the reduced
+sequence ``s_i`` is universal (``s_1 ~ 0.74219``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["Exponential"]
+
+
+class Exponential(Distribution):
+    """``Exp(rate)`` with pdf ``rate * exp(-rate * t)`` on ``[0, inf)``."""
+
+    name = "exponential"
+
+    def __init__(self, rate: float = 1.0):
+        if rate <= 0:
+            raise ValueError(f"exponential rate must be positive, got {rate}")
+        self.rate = float(rate)
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= 0.0, self.rate * np.exp(-self.rate * np.maximum(t, 0.0)), 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= 0.0, -np.expm1(-self.rate * np.maximum(t, 0.0)), 0.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(t >= 0.0, np.exp(-self.rate * np.maximum(t, 0.0)), 1.0)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        out = -np.log1p(-q) / self.rate
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return 1.0 / self.rate
+
+    def var(self) -> float:
+        return 1.0 / self.rate**2
+
+    def second_moment(self) -> float:
+        return 2.0 / self.rate**2
+
+    def conditional_expectation(self, tau: float) -> float:
+        """Memoryless: ``E[X | X > tau] = tau + 1/rate`` (Table 6, row 1)."""
+        tau = float(tau)
+        if tau < 0.0:
+            return self.mean()
+        return tau + 1.0 / self.rate
+
+    def describe(self) -> str:
+        return f"Exponential(rate={self.rate:g})"

@@ -1,0 +1,117 @@
+"""LogNormal distribution ``LogNormal(mu, sigma)`` (Table 1 / Table 5).
+
+This is the paper's flagship law: both neuroscience traces of Fig. 1 fit a
+LogNormal, and the NEUROHPC scenario (Section 5.3) instantiates
+``mu = 7.1128, sigma = 0.2039`` (seconds).  The conditional expectation
+(Theorem 8) reduces to a ratio of Gaussian survival probabilities which we
+compute through ``log_ndtr`` so the MEAN-BY-MEAN sequence stays finite deep
+into the tail.
+
+:func:`lognormal_from_moments` implements the footnote-4 reparameterization:
+given a desired mean ``m`` and standard deviation ``s`` of the *execution
+time*, it returns the underlying Gaussian parameters.  (We use the exact
+inversion ``mu = ln m - sigma^2/2``; the paper's footnote carries a typo.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy import special
+
+from repro.distributions.base import Distribution
+from repro.distributions.special import log_normal_sf_ratio
+
+__all__ = ["LogNormal", "lognormal_from_moments"]
+
+
+class LogNormal(Distribution):
+    """``LogNormal(mu, sigma)``: ``ln X ~ Normal(mu, sigma^2)``, support ``(0, inf)``."""
+
+    name = "lognormal"
+
+    def __init__(self, mu: float = 3.0, sigma: float = 0.5):
+        if sigma <= 0:
+            raise ValueError(f"lognormal sigma must be positive, got {sigma}")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    def _z(self, t: np.ndarray) -> np.ndarray:
+        with np.errstate(divide="ignore"):
+            return (np.log(t) - self.mu) / self.sigma
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = self._z(np.where(t > 0, t, 1.0))
+            body = np.exp(-0.5 * z * z) / (
+                np.where(t > 0, t, 1.0) * self.sigma * math.sqrt(2.0 * math.pi)
+            )
+        out = np.where(t > 0.0, body, 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            body = special.ndtr(self._z(np.where(t > 0, t, 1.0)))
+        out = np.where(t > 0.0, body, 0.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            body = special.ndtr(-self._z(np.where(t > 0, t, 1.0)))
+        out = np.where(t > 0.0, body, 1.0)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        out = np.exp(self.mu + self.sigma * special.ndtri(q))
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma**2)
+
+    def second_moment(self) -> float:
+        return math.exp(2.0 * self.mu + 2.0 * self.sigma**2)
+
+    def var(self) -> float:
+        # expm1 keeps relative precision when sigma is tiny (Fig. 4's
+        # moment-matched reparameterizations can produce sigma ~ 1e-5).
+        return math.expm1(self.sigma**2) * math.exp(2.0 * self.mu + self.sigma**2)
+
+    def conditional_expectation(self, tau: float) -> float:
+        """Theorem 8: ``E[X|X>tau] = e^{mu+s^2/2} Phi(s - z) / Phi(-z)``, ``z=(ln tau - mu)/s``."""
+        tau = float(tau)
+        if tau <= 0.0:
+            return self.mean()
+        z = (math.log(tau) - self.mu) / self.sigma
+        return self.mean() * log_normal_sf_ratio(z - self.sigma, z)
+
+    def describe(self) -> str:
+        return f"LogNormal(mu={self.mu:g}, sigma={self.sigma:g})"
+
+
+def lognormal_from_moments(mean: float, std: float) -> LogNormal:
+    """Build a LogNormal with the given execution-time mean and std.
+
+    Exact inversion of the Table 5 moment formulas:
+    ``sigma = sqrt(ln(1 + (std/mean)^2))`` and ``mu = ln(mean) - sigma^2/2``.
+    Used by the Fig. 4 robustness sweep, which scales the trace-fitted mean
+    and standard deviation by factors up to 10.
+    """
+    if mean <= 0:
+        raise ValueError(f"lognormal mean must be positive, got {mean}")
+    if std <= 0:
+        raise ValueError(f"lognormal std must be positive, got {std}")
+    sigma2 = math.log1p((std / mean) ** 2)
+    mu = math.log(mean) - 0.5 * sigma2
+    return LogNormal(mu=mu, sigma=math.sqrt(sigma2))

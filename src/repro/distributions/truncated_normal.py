@@ -1,0 +1,106 @@
+"""One-sided truncated normal ``TruncatedNormal(mu, sigma^2, a)`` (Table 1).
+
+The law of a ``Normal(mu, sigma^2)`` conditioned on ``X >= a`` — the paper's
+way of using a Gaussian shape while keeping execution times nonnegative
+(its instantiation is ``mu=8, sigma^2=2, a=0``).  The conditional expectation
+(Theorem 9) is the classic Mills-ratio formula
+
+``E[X | X > tau] = mu + sigma * phi(z) / (1 - Phi(z))``, ``z = (tau-mu)/sigma``
+
+valid for any ``tau >= a`` (truncating an already-truncated Gaussian at a
+larger point gives the same conditional law).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy import special
+
+from repro.distributions.base import Distribution
+from repro.distributions.special import normal_hazard
+
+__all__ = ["TruncatedNormal"]
+
+
+class TruncatedNormal(Distribution):
+    """Normal(mu, sigma^2) restricted to ``[a, inf)`` and renormalized."""
+
+    name = "truncated_normal"
+
+    def __init__(self, mu: float = 8.0, sigma2: float = 2.0, a: float = 0.0):
+        if sigma2 <= 0:
+            raise ValueError(f"variance must be positive, got {sigma2}")
+        self.mu = float(mu)
+        self.sigma = math.sqrt(float(sigma2))
+        self.a = float(a)
+        # Mass of the parent Gaussian above the truncation point.
+        self._tail = float(special.ndtr(-(self.a - self.mu) / self.sigma))
+        if self._tail <= 0.0:
+            raise ValueError(
+                f"truncation point a={a} leaves no probability mass "
+                f"(mu={mu}, sigma^2={sigma2})"
+            )
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        return (self.a, math.inf)
+
+    def _z(self, t: np.ndarray) -> np.ndarray:
+        return (t - self.mu) / self.sigma
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        z = self._z(t)
+        body = np.exp(-0.5 * z * z) / (self.sigma * math.sqrt(2.0 * math.pi) * self._tail)
+        out = np.where(t >= self.a, body, 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        body = (special.ndtr(self._z(t)) - special.ndtr(self._z(np.full_like(t, self.a)))) / self._tail
+        out = np.clip(np.where(t >= self.a, body, 0.0), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        body = special.ndtr(-self._z(t)) / self._tail
+        out = np.clip(np.where(t >= self.a, body, 1.0), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        base = special.ndtr((self.a - self.mu) / self.sigma)
+        out = self.mu + self.sigma * special.ndtri(base + q * self._tail)
+        out = np.maximum(out, self.a)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        z = (self.a - self.mu) / self.sigma
+        return self.mu + self.sigma * normal_hazard(z)
+
+    def var(self) -> float:
+        z = (self.a - self.mu) / self.sigma
+        h = normal_hazard(z)
+        return self.sigma**2 * (1.0 + z * h - h * h)
+
+    def second_moment(self) -> float:
+        m = self.mean()
+        return self.var() + m * m
+
+    def conditional_expectation(self, tau: float) -> float:
+        """Theorem 9 (Mills-ratio form)."""
+        tau = float(tau)
+        if tau <= self.a:
+            return self.mean()
+        z = (tau - self.mu) / self.sigma
+        return self.mu + self.sigma * normal_hazard(z)
+
+    def describe(self) -> str:
+        return (
+            f"TruncatedNormal(mu={self.mu:g}, sigma2={self.sigma**2:g}, a={self.a:g})"
+        )

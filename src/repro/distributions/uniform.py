@@ -1,0 +1,77 @@
+"""Uniform distribution ``Uniform(a, b)`` (Table 1 / Table 5).
+
+The only law for which the paper derives the exact optimum in closed form:
+Theorem 4 proves the optimal reservation sequence is the singleton ``(b)``
+for *any* cost parameters.  Its MEAN-BY-MEAN recursion (Theorem 11) is
+``t_i = (b + t_{i-1}) / 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+
+__all__ = ["Uniform"]
+
+
+class Uniform(Distribution):
+    """``Uniform(a, b)`` with density ``1/(b-a)`` on ``[a, b]``."""
+
+    name = "uniform"
+
+    def __init__(self, a: float = 10.0, b: float = 20.0):
+        if b <= a:
+            raise ValueError(f"uniform needs a < b, got [{a}, {b}]")
+        if a < 0:
+            raise ValueError(f"uniform lower bound must be nonnegative, got {a}")
+        self.a = float(a)
+        self.b = float(b)
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        return (self.a, self.b)
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where((t >= self.a) & (t <= self.b), 1.0 / (self.b - self.a), 0.0)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.clip((t - self.a) / (self.b - self.a), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        out = self.a + q * (self.b - self.a)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return 0.5 * (self.a + self.b)
+
+    def var(self) -> float:
+        return (self.b - self.a) ** 2 / 12.0
+
+    def second_moment(self) -> float:
+        return (self.a**2 + self.a * self.b + self.b**2) / 3.0
+
+    def conditional_expectation(self, tau: float) -> float:
+        """Theorem 11: ``E[X | X > tau] = (b + tau) / 2``."""
+        tau = float(tau)
+        if tau < self.a:
+            return self.mean()
+        if tau >= self.b:
+            from repro.distributions.base import SupportError
+
+            raise SupportError(
+                f"uniform conditional expectation undefined at tau={tau} >= b={self.b}"
+            )
+        return 0.5 * (self.b + tau)
+
+    def describe(self) -> str:
+        return f"Uniform(a={self.a:g}, b={self.b:g})"

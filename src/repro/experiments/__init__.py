@@ -1,0 +1,32 @@
+"""Experiment harness: one module per paper table/figure plus ablations and
+extension experiments.  See DESIGN.md for the per-experiment index and the
+``repro-experiments`` CLI (:mod:`repro.experiments.runner`)."""
+
+from repro.experiments.common import PAPER, QUICK, ExperimentConfig
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER",
+    "QUICK",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "Fig1Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+]

@@ -1,0 +1,254 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+* **A1 — evaluator agreement**: the Monte-Carlo estimator (Eq. 13) versus
+  the exact Theorem 1 series, per distribution; quantifies MC noise at the
+  paper's N=1000.
+* **A2 — brute-force grid size**: best normalized cost versus M; shows the
+  landscape is flat enough that modest grids already reach the plateau.
+* **A3 — truncation epsilon**: DP cost versus the truncation quantile;
+  heavy tails need small eps, light tails do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.cost import CostModel
+from repro.core.expectation import expected_cost_series
+from repro.distributions.registry import paper_distributions
+from repro.experiments.common import PAPER, ExperimentConfig
+from repro.simulation.evaluator import evaluate_strategy
+from repro.simulation.monte_carlo import monte_carlo_expected_cost
+from repro.strategies.brute_force import BruteForce
+from repro.strategies.discretized_dp import DiscretizedDP
+from repro.strategies.mean_by_mean import MeanByMean
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import format_table
+
+__all__ = [
+    "EvaluatorAgreement",
+    "run_ablation_evaluator",
+    "format_ablation_evaluator",
+    "run_ablation_bruteforce_grid",
+    "format_ablation_bruteforce_grid",
+    "run_ablation_truncation",
+    "format_ablation_truncation",
+    "run_ablation_tail",
+    "format_ablation_tail",
+]
+
+
+# ----------------------------------------------------------------------
+# A1: Monte-Carlo vs exact series
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluatorAgreement:
+    distribution: str
+    series_cost: float
+    mc_cost: float
+    mc_std_error: float
+
+    @property
+    def z_score(self) -> float:
+        """How many MC standard errors apart the two evaluators are."""
+        if self.mc_std_error == 0:
+            return 0.0
+        return abs(self.mc_cost - self.series_cost) / self.mc_std_error
+
+
+def run_ablation_evaluator(
+    config: ExperimentConfig = PAPER,
+) -> List[EvaluatorAgreement]:
+    """Compare evaluators on the MEAN-BY-MEAN sequence (deterministic and
+    cheap to rebuild) for every distribution."""
+    cost_model = CostModel.reservation_only()
+    strategy = MeanByMean()
+    out: List[EvaluatorAgreement] = []
+    rngs = spawn_generators(config.seed, len(paper_distributions()))
+    for (name, dist), rng in zip(paper_distributions().items(), rngs):
+        seq = strategy.sequence(dist, cost_model)
+        exact = expected_cost_series(seq, dist, cost_model)
+        seq2 = strategy.sequence(dist, cost_model)
+        mc = monte_carlo_expected_cost(
+            seq2, dist, cost_model, n_samples=config.n_samples, seed=rng
+        )
+        out.append(
+            EvaluatorAgreement(
+                distribution=name,
+                series_cost=exact,
+                mc_cost=mc.mean_cost,
+                mc_std_error=mc.std_error,
+            )
+        )
+    return out
+
+
+def format_ablation_evaluator(rows: List[EvaluatorAgreement]) -> str:
+    return format_table(
+        ["Distribution", "series E(S)", "MC E(S)", "MC SE", "z"],
+        [
+            [
+                r.distribution,
+                f"{r.series_cost:.4f}",
+                f"{r.mc_cost:.4f}",
+                f"{r.mc_std_error:.4f}",
+                f"{r.z_score:.2f}",
+            ]
+            for r in rows
+        ],
+        title="Ablation A1: exact Theorem-1 series vs Monte-Carlo (Eq. 13), "
+        "Mean-by-Mean sequences",
+    )
+
+
+# ----------------------------------------------------------------------
+# A2: brute-force grid size
+# ----------------------------------------------------------------------
+DEFAULT_GRID_SIZES = (10, 50, 100, 500, 1000, 5000)
+
+
+def run_ablation_bruteforce_grid(
+    distribution_names: Tuple[str, ...] = ("exponential", "lognormal"),
+    grid_sizes: Tuple[int, ...] = DEFAULT_GRID_SIZES,
+    config: ExperimentConfig = PAPER,
+) -> Dict[str, Dict[int, float]]:
+    """Best normalized cost vs M (series-evaluated: isolates grid resolution
+    from MC noise)."""
+    cost_model = CostModel.reservation_only()
+    dists = paper_distributions()
+    out: Dict[str, Dict[int, float]] = {}
+    for name in distribution_names:
+        dist = dists[name]
+        omniscient = cost_model.omniscient_expected_cost(dist)
+        out[name] = {}
+        for m in grid_sizes:
+            bf = BruteForce(m_grid=m, evaluation="series")
+            scan = bf.scan(dist, cost_model)
+            out[name][m] = scan.best_cost / omniscient
+    return out
+
+
+def format_ablation_bruteforce_grid(result: Dict[str, Dict[int, float]]) -> str:
+    grid_sizes = sorted(next(iter(result.values())))
+    return format_table(
+        ["Distribution"] + [f"M={m}" for m in grid_sizes],
+        [
+            [name] + [f"{by_m[m]:.4f}" for m in grid_sizes]
+            for name, by_m in result.items()
+        ],
+        title="Ablation A2: Brute-Force best normalized cost vs grid size M "
+        "(exact series evaluation)",
+    )
+
+
+# ----------------------------------------------------------------------
+# A3: truncation epsilon
+# ----------------------------------------------------------------------
+DEFAULT_EPSILONS = (1e-2, 1e-3, 1e-5, 1e-7, 1e-9)
+
+
+def run_ablation_truncation(
+    distribution_names: Tuple[str, ...] = ("weibull", "pareto", "lognormal"),
+    epsilons: Tuple[float, ...] = DEFAULT_EPSILONS,
+    config: ExperimentConfig = PAPER,
+) -> Dict[str, Dict[float, float]]:
+    """EQUAL-PROBABILITY DP normalized cost vs truncation epsilon
+    (heavy-tailed laws are the interesting cases)."""
+    cost_model = CostModel.reservation_only()
+    dists = paper_distributions()
+    rngs = spawn_generators(config.seed, len(distribution_names) * len(epsilons))
+    out: Dict[str, Dict[float, float]] = {}
+    i = 0
+    for name in distribution_names:
+        dist = dists[name]
+        out[name] = {}
+        for eps in epsilons:
+            strategy = DiscretizedDP(
+                "equal_probability", n=config.n_discrete, epsilon=eps
+            )
+            record = evaluate_strategy(
+                strategy,
+                dist,
+                cost_model,
+                method="monte_carlo",
+                n_samples=config.n_samples,
+                seed=rngs[i],
+            )
+            out[name][eps] = record.normalized_cost
+            i += 1
+    return out
+
+
+def format_ablation_truncation(result: Dict[str, Dict[float, float]]) -> str:
+    epsilons = sorted(next(iter(result.values())), reverse=True)
+    return format_table(
+        ["Distribution"] + [f"eps={e:g}" for e in epsilons],
+        [
+            [name] + [f"{by_eps[e]:.3f}" for e in epsilons]
+            for name, by_eps in result.items()
+        ],
+        title="Ablation A3: Equal-probability DP cost vs truncation epsilon",
+    )
+
+
+# ----------------------------------------------------------------------
+# A4: tail heaviness (Weibull shape sweep)
+# ----------------------------------------------------------------------
+DEFAULT_SHAPES = (0.3, 0.5, 0.8, 1.0, 1.5, 3.0)
+
+
+def run_ablation_tail(
+    shapes: Tuple[float, ...] = DEFAULT_SHAPES,
+    config: ExperimentConfig = PAPER,
+) -> Dict[float, Dict[str, float]]:
+    """How tail heaviness drives strategy difficulty.
+
+    The paper instantiates Weibull at k=0.5 (its hardest unbounded law in
+    Table 2).  Sweeping the shape k — heavier tails as k falls — shows two
+    regimes (all costs exact, series-evaluated):
+
+    * light-to-moderate tails (k >= 0.5): the DP beats MEAN-DOUBLING and the
+      gap grows as the tail lightens (doubling overshoots predictable jobs);
+    * extreme tails (k ~ 0.3): the truncation-based DP *degrades below*
+      simple doubling — the mass beyond Q(1-eps) (which the DP never plans
+      for and covers only via its fallback extension) dominates the cost,
+      while geometric doubling is tail-agnostic.  This quantifies the limits
+      of the paper's discretization approach outside its evaluated range.
+    """
+    from repro.distributions.weibull import Weibull
+    from repro.strategies.mean_doubling import MeanDoubling
+
+    cost_model = CostModel.reservation_only()
+    out: Dict[float, Dict[str, float]] = {}
+    for k in shapes:
+        dist = Weibull(scale=1.0, shape=k)
+        row: Dict[str, float] = {}
+        for strategy in (
+            DiscretizedDP("equal_probability", n=min(config.n_discrete, 500)),
+            MeanDoubling(),
+        ):
+            record = evaluate_strategy(
+                strategy, dist, cost_model, method="series"
+            )
+            row[strategy.name] = record.normalized_cost
+        out[k] = row
+    return out
+
+
+def format_ablation_tail(result: Dict[float, Dict[str, float]]) -> str:
+    shapes = sorted(result)
+    return format_table(
+        ["Weibull shape k", "equal_probability_dp", "mean_doubling", "gap"],
+        [
+            [
+                f"{k:g}",
+                f"{result[k]['equal_probability_dp']:.3f}",
+                f"{result[k]['mean_doubling']:.3f}",
+                f"{result[k]['mean_doubling'] / result[k]['equal_probability_dp']:.3f}x",
+            ]
+            for k in shapes
+        ],
+        title="Ablation A4: tail heaviness (Weibull shape sweep, exact "
+        "normalized costs; k<1 = heavy tail)",
+    )

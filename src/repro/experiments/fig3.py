@@ -1,0 +1,123 @@
+"""Figure 3 — normalized cost as a function of the first reservation ``t_1``.
+
+For each distribution, sweep ``t_1`` across the brute-force search interval,
+complete each candidate with the Eq. (11) recurrence, and record the
+Monte-Carlo normalized cost — or mark the candidate infeasible when the
+recurrence stops increasing (the gaps visible in the paper's plots, e.g.
+Fig. 3a's gap between 0.25 and 0.75 for the exponential).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.cost import CostModel
+from repro.distributions.registry import paper_distributions
+from repro.experiments.common import PAPER, ExperimentConfig
+from repro.simulation.results import SweepPoint
+from repro.strategies.brute_force import BruteForce
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import format_csv, format_table
+
+__all__ = ["Fig3Series", "Fig3Result", "run_fig3", "format_fig3", "fig3_csv"]
+
+
+@dataclass(frozen=True)
+class Fig3Series:
+    distribution: str
+    points: List[SweepPoint]  # x = t1, normalized_cost = None if infeasible
+    best_t1: float
+    best_cost: float  # normalized
+
+    @property
+    def feasible_fraction(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(p.feasible for p in self.points) / len(self.points)
+
+
+@dataclass(frozen=True)
+class Fig3Result:
+    series: Dict[str, Fig3Series]
+    config: ExperimentConfig
+
+
+def run_fig3(
+    config: ExperimentConfig = PAPER, sweep_points: int | None = None
+) -> Fig3Result:
+    """Regenerate all nine Fig. 3 panels.
+
+    ``sweep_points`` defaults to ``config.m_grid`` (the plot *is* the
+    brute-force scan); pass a smaller value for a coarser curve.
+    """
+    cost_model = CostModel.reservation_only()
+    distributions = paper_distributions()
+    rngs = spawn_generators(config.seed, len(distributions))
+    m = sweep_points or config.m_grid
+
+    series: Dict[str, Fig3Series] = {}
+    for (dist_name, dist), rng in zip(distributions.items(), rngs):
+        omniscient = cost_model.omniscient_expected_cost(dist)
+        bf = BruteForce(m_grid=m, n_samples=config.n_samples, seed=rng)
+        scan = bf.scan(dist, cost_model)
+        points = [
+            SweepPoint(
+                x=p.t1,
+                normalized_cost=(
+                    None if p.expected_cost is None else p.expected_cost / omniscient
+                ),
+                label=dist_name,
+            )
+            for p in scan.points
+        ]
+        series[dist_name] = Fig3Series(
+            distribution=dist_name,
+            points=points,
+            best_t1=scan.best_t1,
+            best_cost=scan.best_cost / omniscient,
+        )
+    return Fig3Result(series=series, config=config)
+
+
+def format_fig3(result: Fig3Result) -> str:
+    """Summary table with a sparkline of each cost landscape (gaps = the
+    infeasible t1 bands the paper's plots show)."""
+    from repro.utils.ascii_plot import sparkline
+
+    headers = [
+        "Distribution",
+        "feasible %",
+        "best t1",
+        "best cost",
+        "cost over t1 (low->high)",
+    ]
+    rows: List[List[str]] = []
+    for name, s in result.series.items():
+        rows.append(
+            [
+                name,
+                f"{100.0 * s.feasible_fraction:.1f}",
+                f"{s.best_t1:.4g}",
+                f"{s.best_cost:.3f}",
+                sparkline([p.normalized_cost for p in s.points], width=48),
+            ]
+        )
+    return format_table(
+        headers,
+        rows,
+        title="Figure 3 (summary): cost landscape over t1 per distribution "
+        f"({len(next(iter(result.series.values())).points)} candidates each; "
+        "'·' = infeasible t1)",
+    )
+
+
+def fig3_csv(result: Fig3Result, distribution: str) -> str:
+    """Full (t1, normalized_cost) series for one panel, CSV (empty cost =
+    infeasible candidate — the plot gaps)."""
+    s = result.series[distribution]
+    rows = [
+        (f"{p.x:.6g}", "" if p.normalized_cost is None else f"{p.normalized_cost:.6g}")
+        for p in s.points
+    ]
+    return format_csv(["t1", "normalized_cost"], rows)

@@ -1,0 +1,183 @@
+"""Extension experiment E5 — model misspecification: fit vs data.
+
+The paper's pipeline fits a LogNormal to traces and plans against the fit.
+What if the true law is *not* LogNormal?  E5 draws traces from a bimodal
+LogNormal mixture (a fast path and a slow path — common in real pipelines),
+builds three plans, and evaluates all of them under the TRUE law:
+
+* **parametric** — LogNormal MLE fit of the trace (the paper's pipeline);
+* **empirical** — the DP planned directly on the interpolated ECDF;
+* **oracle** — the DP planned on the true mixture (upper bound on planning).
+
+Headline: on well-specified workloads the parametric fit is fine; as the
+modes separate, planning on the data (empirical) tracks the oracle while the
+LogNormal fit pays an increasing misspecification premium — its single broad
+mode cannot place a reservation between the two true modes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.distributions.base import Distribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.fitting import fit_lognormal
+from repro.distributions.lognormal import LogNormal
+from repro.experiments.common import PAPER, ExperimentConfig
+from repro.simulation.evaluator import evaluate_on_samples
+from repro.strategies.discretized_dp import EqualProbabilityDP
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import format_table
+
+__all__ = [
+    "BimodalLogNormal",
+    "MisspecRow",
+    "run_misspecification_experiment",
+    "format_misspecification_experiment",
+]
+
+
+class BimodalLogNormal(Distribution):
+    """Equal-spread two-mode LogNormal mixture with mode separation ``gap``:
+    modes at ``exp(mu -/+ gap/2)`` with weight ``w`` on the fast mode."""
+
+    name = "bimodal_lognormal"
+
+    def __init__(self, mu: float = 1.0, sigma: float = 0.25,
+                 gap: float = 1.0, w: float = 0.6):
+        if not (0.0 < w < 1.0):
+            raise ValueError(f"weight must be in (0,1), got {w}")
+        if gap < 0:
+            raise ValueError(f"gap must be nonnegative, got {gap}")
+        self.fast = LogNormal(mu - gap / 2.0, sigma)
+        self.slow = LogNormal(mu + gap / 2.0, sigma)
+        self.w = float(w)
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        return (0.0, math.inf)
+
+    def pdf(self, t):
+        return self.w * self.fast.pdf(t) + (1 - self.w) * self.slow.pdf(t)
+
+    def cdf(self, t):
+        return self.w * self.fast.cdf(t) + (1 - self.w) * self.slow.cdf(t)
+
+    def quantile(self, q):
+        from scipy import optimize
+
+        q = np.atleast_1d(np.asarray(q, dtype=float))
+        if np.any((q < 0) | (q > 1)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        out = np.empty_like(q)
+        hi0 = float(self.slow.quantile(0.999999))
+        for i, qi in enumerate(q):
+            if qi <= 0.0:
+                out[i] = 0.0
+                continue
+            if qi >= 1.0:
+                out[i] = math.inf
+                continue
+            hi = hi0
+            while float(self.cdf(hi)) < qi:
+                hi *= 2.0
+            out[i] = optimize.brentq(lambda t: float(self.cdf(t)) - qi, 1e-12, hi)
+        return out if out.size > 1 else float(out[0])
+
+    def mean(self) -> float:
+        return self.w * self.fast.mean() + (1 - self.w) * self.slow.mean()
+
+    def second_moment(self) -> float:
+        return (
+            self.w * self.fast.second_moment()
+            + (1 - self.w) * self.slow.second_moment()
+        )
+
+
+@dataclass(frozen=True)
+class MisspecRow:
+    gap: float
+    parametric_cost: float  # normalized, evaluated under the TRUE law
+    empirical_cost: float
+    oracle_cost: float
+
+    @property
+    def misspecification_premium(self) -> float:
+        """How much the parametric fit pays over the oracle."""
+        return self.parametric_cost / self.oracle_cost - 1.0
+
+    @property
+    def empirical_premium(self) -> float:
+        return self.empirical_cost / self.oracle_cost - 1.0
+
+
+def run_misspecification_experiment(
+    gaps: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+    n_trace: int = 3000,
+    config: ExperimentConfig = PAPER,
+) -> List[MisspecRow]:
+    """Sweep the mode separation; evaluate plans under the true mixture."""
+    cost_model = CostModel.reservation_only()
+    n_discrete = min(config.n_discrete, 400)
+    rngs = spawn_generators(config.seed, len(gaps))
+    rows: List[MisspecRow] = []
+    for gap, rng in zip(gaps, rngs):
+        true = BimodalLogNormal(gap=gap)
+        trace = true.rvs(n_trace, seed=rng)
+        eval_samples = true.rvs(config.n_samples, seed=rng)
+
+        parametric_model = fit_lognormal(trace).distribution()
+        empirical_model = EmpiricalDistribution(trace)
+
+        def plan_on(model):
+            return EqualProbabilityDP(n=n_discrete).sequence(model, cost_model)
+
+        def score(sequence):
+            # A plan built on bounded (empirical) support can be exceeded by
+            # a true-law sample beyond anything the trace ever showed; any
+            # deployed plan needs that fallback, so score all plans with a
+            # doubling tail (ends within one extra reservation in practice).
+            from repro.core.sequence import ReservationSequence
+
+            robust = ReservationSequence(
+                sequence.values,
+                extend=lambda v: float(v[-1]) * 2.0,
+                name=sequence.name,
+            )
+            return evaluate_on_samples(
+                robust, true, cost_model, eval_samples
+            ).normalized_cost
+
+        rows.append(
+            MisspecRow(
+                gap=gap,
+                parametric_cost=score(plan_on(parametric_model)),
+                empirical_cost=score(plan_on(empirical_model)),
+                oracle_cost=score(plan_on(true)),
+            )
+        )
+    return rows
+
+
+def format_misspecification_experiment(rows: List[MisspecRow]) -> str:
+    return format_table(
+        ["mode gap", "parametric (LogNormal fit)", "empirical (ECDF)",
+         "oracle (true law)", "misspec premium"],
+        [
+            [
+                f"{r.gap:g}",
+                f"{r.parametric_cost:.3f}",
+                f"{r.empirical_cost:.3f}",
+                f"{r.oracle_cost:.3f}",
+                f"{100 * r.misspecification_premium:+.1f}%",
+            ]
+            for r in rows
+        ],
+        title="Extension E5: planning under model misspecification "
+        "(bimodal truth, normalized costs under the true law)",
+    )

@@ -1,0 +1,93 @@
+"""Table 2 — normalized expected costs of all heuristics, RESERVATIONONLY.
+
+For each of the nine Table 1 distributions and each of the seven heuristics,
+estimate ``E(S) / E^o`` by the paper's Monte-Carlo process, and report each
+non-brute-force heuristic's ratio to BRUTE-FORCE (the bracketed values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.cost import CostModel
+from repro.distributions.registry import paper_distributions
+from repro.experiments.common import PAPER, ExperimentConfig
+from repro.simulation.evaluator import evaluate_on_samples
+from repro.simulation.results import EvaluationRecord
+from repro.strategies.registry import PAPER_STRATEGY_ORDER, paper_strategies
+from repro.utils.rng import spawn_generators
+from repro.utils.tables import format_table
+
+__all__ = ["Table2Result", "run_table2", "format_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """records[distribution][strategy] -> EvaluationRecord."""
+
+    records: Dict[str, Dict[str, EvaluationRecord]]
+    config: ExperimentConfig
+
+    def normalized(self, distribution: str, strategy: str) -> float:
+        return self.records[distribution][strategy].normalized_cost
+
+    def vs_brute_force(self, distribution: str, strategy: str) -> float:
+        """The bracketed ratio of Table 2."""
+        row = self.records[distribution]
+        return row[strategy].expected_cost / row["brute_force"].expected_cost
+
+
+def run_table2(config: ExperimentConfig = PAPER) -> Table2Result:
+    """Regenerate Table 2."""
+    cost_model = CostModel.reservation_only()
+    distributions = paper_distributions()
+    rngs = spawn_generators(config.seed, len(distributions))
+
+    records: Dict[str, Dict[str, EvaluationRecord]] = {}
+    for (dist_name, dist), rng in zip(distributions.items(), rngs):
+        strategies = paper_strategies(
+            m_grid=config.m_grid,
+            n_samples=config.n_samples,
+            n_discrete=config.n_discrete,
+            epsilon=config.epsilon,
+            seed=rng,
+        )
+        # Common random numbers: every heuristic in a row is scored on the
+        # same jobs (and BRUTE-FORCE optimizes on those same jobs), so the
+        # bracketed ratios reflect strategy quality only.
+        samples = dist.rvs(config.n_samples, seed=rng)
+        row: Dict[str, EvaluationRecord] = {}
+        for strat_name in PAPER_STRATEGY_ORDER:
+            strategy = strategies[strat_name]
+            if strat_name == "brute_force":
+                sequence = strategy.sequence(dist, cost_model, samples=samples)
+            else:
+                sequence = strategy.sequence(dist, cost_model)
+            row[strat_name] = evaluate_on_samples(
+                sequence, dist, cost_model, samples, strategy_name=strat_name
+            )
+        records[dist_name] = row
+    return Table2Result(records=records, config=config)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render in the paper's layout: normalized cost, with the ratio to
+    BRUTE-FORCE in brackets for the other heuristics."""
+    headers = ["Distribution", "Brute-Force"] + [
+        s for s in PAPER_STRATEGY_ORDER if s != "brute_force"
+    ]
+    rows: List[List[str]] = []
+    for dist_name, row in result.records.items():
+        cells = [dist_name, f"{row['brute_force'].normalized_cost:.2f}"]
+        for strat in PAPER_STRATEGY_ORDER:
+            if strat == "brute_force":
+                continue
+            ratio = result.vs_brute_force(dist_name, strat)
+            cells.append(f"{row[strat].normalized_cost:.2f} ({ratio:.2f})")
+        rows.append(cells)
+    return format_table(
+        headers,
+        rows,
+        title="Table 2: normalized expected costs, ReservationOnly scenario",
+    )

@@ -1,0 +1,113 @@
+"""Plan serialization: persist a computed reservation plan as JSON.
+
+A *plan document* bundles everything a scheduler-side agent needs to execute
+and audit a reservation strategy later: the workload description, the cost
+model, the strategy that produced the plan, the materialized reservations,
+and summary statistics.  Documents round-trip losslessly
+(:func:`plan_to_json` / :func:`plan_from_json`) and are versioned so future
+formats can migrate old files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence
+
+__all__ = ["PlanDocument", "plan_to_json", "plan_from_json", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PlanDocument:
+    """A serializable reservation plan."""
+
+    reservations: List[float]
+    cost_model: Dict[str, float]  # alpha / beta / gamma
+    strategy: str
+    distribution: Dict[str, object]  # name + parameters (informational)
+    statistics: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+    version: int = FORMAT_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.reservations:
+            raise ValueError("a plan needs at least one reservation")
+        if any(b <= a for a, b in zip(self.reservations, self.reservations[1:])):
+            raise ValueError("reservations must be strictly increasing")
+        for key in ("alpha", "beta", "gamma"):
+            if key not in self.cost_model:
+                raise ValueError(f"cost_model is missing {key!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sequence(
+        cls,
+        sequence: ReservationSequence,
+        cost_model: CostModel,
+        strategy: str,
+        distribution: Optional[Dict[str, object]] = None,
+        statistics: Optional[Dict[str, float]] = None,
+        notes: str = "",
+    ) -> "PlanDocument":
+        return cls(
+            reservations=[float(v) for v in sequence.values],
+            cost_model={
+                "alpha": cost_model.alpha,
+                "beta": cost_model.beta,
+                "gamma": cost_model.gamma,
+            },
+            strategy=strategy or sequence.name,
+            distribution=dict(distribution or {}),
+            statistics=dict(statistics or {}),
+            notes=notes,
+        )
+
+    def to_cost_model(self) -> CostModel:
+        return CostModel(
+            alpha=float(self.cost_model["alpha"]),
+            beta=float(self.cost_model["beta"]),
+            gamma=float(self.cost_model["gamma"]),
+        )
+
+    def to_sequence(self) -> ReservationSequence:
+        """Rebuild the (finite) sequence.  Extenders are not serialized: a
+        loaded plan covers exactly what it covered when saved."""
+        return ReservationSequence(self.reservations, name=self.strategy)
+
+
+def plan_to_json(doc: PlanDocument, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(asdict(doc), indent=indent, sort_keys=True)
+
+
+def plan_from_json(text: str) -> PlanDocument:
+    """Parse a plan document, validating version and structure."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from None
+    if not isinstance(raw, dict):
+        raise ValueError("plan document must be a JSON object")
+    version = raw.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported plan format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    try:
+        return PlanDocument(
+            reservations=[float(v) for v in raw["reservations"]],
+            cost_model={k: float(v) for k, v in raw["cost_model"].items()},
+            strategy=str(raw["strategy"]),
+            distribution=dict(raw.get("distribution", {})),
+            statistics={k: float(v) for k, v in raw.get("statistics", {}).items()},
+            notes=str(raw.get("notes", "")),
+            version=int(version),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"malformed plan document: {exc}") from None

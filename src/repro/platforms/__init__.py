@@ -1,0 +1,44 @@
+"""Platform models: cloud RESERVATIONONLY and HPC NEUROHPC (Section 5),
+plus the wait-time fitting and synthetic-trace substrates."""
+
+from repro.platforms.neurohpc import (
+    NeuroHPCPlatform,
+    scaled_workload,
+    vbmqa_hours_distribution,
+)
+from repro.platforms.reservation_only import (
+    PricingComparison,
+    ReservationOnlyPlatform,
+)
+from repro.platforms.traces import (
+    FMRIQA_PARAMS,
+    VBMQA_PARAMS,
+    ApplicationTrace,
+    generate_trace,
+    vbmqa_distribution,
+)
+from repro.platforms.waittime import (
+    INTREPID_409_MODEL,
+    QueueLog,
+    WaitTimeModel,
+    fit_wait_time,
+    synthesize_queue_log,
+)
+
+__all__ = [
+    "NeuroHPCPlatform",
+    "scaled_workload",
+    "vbmqa_hours_distribution",
+    "ReservationOnlyPlatform",
+    "PricingComparison",
+    "ApplicationTrace",
+    "generate_trace",
+    "vbmqa_distribution",
+    "VBMQA_PARAMS",
+    "FMRIQA_PARAMS",
+    "WaitTimeModel",
+    "QueueLog",
+    "synthesize_queue_log",
+    "fit_wait_time",
+    "INTREPID_409_MODEL",
+]

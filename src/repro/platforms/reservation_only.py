@@ -1,0 +1,68 @@
+"""RESERVATIONONLY platform (Section 5.2).
+
+Models the AWS *Reserved Instance* scheme: the user pays exactly what is
+requested (``alpha = 1``, ``beta = gamma = 0``).  The module also implements
+the paper's RI-vs-On-Demand break-even analysis: RI with a reservation
+sequence ``S`` beats On-Demand (pay-per-use at a higher hourly rate) iff
+``E(S)/E^o <= c_OD / c_RI`` — AWS prices differ by up to a factor 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import CostModel
+
+__all__ = ["ReservationOnlyPlatform", "PricingComparison"]
+
+#: AWS's advertised RI discount: On-Demand can cost up to 4x Reserved.
+DEFAULT_PRICE_RATIO = 4.0
+
+
+@dataclass(frozen=True)
+class PricingComparison:
+    """Outcome of the RI-vs-OD break-even test for one strategy."""
+
+    normalized_cost: float  # E(S) / E^o under RI pricing
+    price_ratio: float  # c_OD / c_RI
+    reserved_wins: bool
+
+    @property
+    def saving_fraction(self) -> float:
+        """Fraction of the On-Demand bill saved by reserving (can be < 0)."""
+        return 1.0 - self.normalized_cost / self.price_ratio
+
+
+class ReservationOnlyPlatform:
+    """Cloud platform with Reserved-Instance pricing."""
+
+    name = "reservation_only"
+
+    def __init__(self, price_per_hour_reserved: float = 1.0):
+        if price_per_hour_reserved <= 0:
+            raise ValueError(
+                f"price must be positive, got {price_per_hour_reserved}"
+            )
+        self.price_per_hour_reserved = float(price_per_hour_reserved)
+
+    def cost_model(self) -> CostModel:
+        """``alpha = price, beta = gamma = 0`` (Definition 1's special case)."""
+        return CostModel.reservation_only(alpha=self.price_per_hour_reserved)
+
+    def compare_with_on_demand(
+        self, normalized_cost: float, price_ratio: float = DEFAULT_PRICE_RATIO
+    ) -> PricingComparison:
+        """Break-even test of Section 5.2: RI wins iff
+        ``E(S)/E^o <= c_OD/c_RI``."""
+        if normalized_cost < 1.0 - 1e-9:
+            raise ValueError(
+                f"normalized cost cannot beat the omniscient scheduler: "
+                f"{normalized_cost}"
+            )
+        if price_ratio <= 0:
+            raise ValueError(f"price ratio must be positive, got {price_ratio}")
+        return PricingComparison(
+            normalized_cost=normalized_cost,
+            price_ratio=price_ratio,
+            reserved_wins=normalized_cost <= price_ratio,
+        )

@@ -1,0 +1,17 @@
+"""Online runtime: reservation sessions and adaptive replanning."""
+
+from repro.runtime.replanning import AdaptiveReplanner
+from repro.runtime.session import (
+    Attempt,
+    AttemptOutcome,
+    ReservationSession,
+    execute,
+)
+
+__all__ = [
+    "ReservationSession",
+    "Attempt",
+    "AttemptOutcome",
+    "execute",
+    "AdaptiveReplanner",
+]

@@ -1,0 +1,32 @@
+"""Monte-Carlo engine and evaluation harness (Section 5.1)."""
+
+from repro.simulation.evaluator import (
+    evaluate_on_samples,
+    evaluate_sequence,
+    evaluate_strategy,
+)
+from repro.simulation.monte_carlo import (
+    MonteCarloResult,
+    costs_for_times,
+    monte_carlo_expected_cost,
+)
+from repro.simulation.results import EvaluationRecord, SweepPoint
+from repro.simulation.statistics import (
+    CostStatistics,
+    cost_statistics,
+    reservation_count_pmf,
+)
+
+__all__ = [
+    "evaluate_sequence",
+    "evaluate_on_samples",
+    "evaluate_strategy",
+    "MonteCarloResult",
+    "costs_for_times",
+    "monte_carlo_expected_cost",
+    "EvaluationRecord",
+    "SweepPoint",
+    "CostStatistics",
+    "cost_statistics",
+    "reservation_count_pmf",
+]

@@ -1,0 +1,46 @@
+"""Result records produced by the evaluator and consumed by the experiment
+harness.  Plain frozen dataclasses — easy to tabulate, serialize and assert
+against in tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["EvaluationRecord", "SweepPoint"]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One (strategy, distribution, cost model) evaluation outcome."""
+
+    strategy: str
+    distribution: str
+    expected_cost: float
+    omniscient_cost: float
+    normalized_cost: float
+    method: str  # "monte_carlo" | "series"
+    n_samples: Optional[int] = None
+    std_error: Optional[float] = None
+    first_reservation: Optional[float] = None
+    sequence_length: Optional[int] = None
+
+    def normalized_vs(self, other: "EvaluationRecord") -> float:
+        """Ratio against another record (the bracketed values of Table 2)."""
+        if other.expected_cost <= 0:
+            raise ValueError("cannot normalize by a nonpositive cost")
+        return self.expected_cost / other.expected_cost
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep (Fig. 3 / Fig. 4 series)."""
+
+    x: float
+    normalized_cost: Optional[float]  # None marks an infeasible candidate
+    label: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return self.normalized_cost is not None

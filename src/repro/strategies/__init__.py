@@ -1,0 +1,46 @@
+"""Reservation strategies (Section 4): BRUTE-FORCE, discretization + DP, and
+the standard-measure heuristics, plus the omniscient baseline."""
+
+from repro.strategies.base import Strategy
+from repro.strategies.brute_force import BruteForce, BruteForceScan, ScanPoint
+from repro.strategies.discretized_dp import (
+    DiscretizedDP,
+    EqualProbabilityDP,
+    EqualTimeDP,
+)
+from repro.strategies.dynamic_programming import (
+    DiscreteDPResult,
+    dp_sequence_for_discrete,
+    solve_discrete_dp,
+)
+from repro.strategies.mean_by_mean import MeanByMean
+from repro.strategies.mean_doubling import MeanDoubling
+from repro.strategies.mean_stdev import MeanStdev
+from repro.strategies.median_by_median import MedianByMedian
+from repro.strategies.omniscient import Omniscient
+from repro.strategies.registry import (
+    PAPER_STRATEGY_ORDER,
+    make_strategy,
+    paper_strategies,
+)
+
+__all__ = [
+    "Strategy",
+    "BruteForce",
+    "BruteForceScan",
+    "ScanPoint",
+    "DiscretizedDP",
+    "EqualTimeDP",
+    "EqualProbabilityDP",
+    "DiscreteDPResult",
+    "solve_discrete_dp",
+    "dp_sequence_for_discrete",
+    "MeanByMean",
+    "MeanStdev",
+    "MeanDoubling",
+    "MedianByMedian",
+    "Omniscient",
+    "PAPER_STRATEGY_ORDER",
+    "make_strategy",
+    "paper_strategies",
+]

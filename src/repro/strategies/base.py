@@ -1,0 +1,35 @@
+"""Strategy interface.
+
+A *strategy* maps a (distribution, cost model) pair to a reservation
+sequence.  Strategies are stateless and reusable across distributions; any
+randomness (e.g. BRUTE-FORCE's Monte-Carlo scoring) is seeded explicitly at
+construction.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence
+
+__all__ = ["Strategy"]
+
+
+class Strategy(abc.ABC):
+    """Base class for reservation strategies (Section 4)."""
+
+    #: Identifier used in experiment tables (matches the paper's column names).
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def sequence(self, distribution, cost_model: CostModel) -> ReservationSequence:
+        """Build the reservation sequence for ``distribution`` under
+        ``cost_model``.
+
+        The returned sequence covers the whole support: finite sequences end
+        at the upper bound; sequences for unbounded laws carry an extender.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,214 @@
+"""BRUTE-FORCE heuristic (Section 4.1).
+
+Scan ``M`` candidate values of the first reservation ``t_1`` over the search
+interval (``[a, b]`` for bounded supports, ``[a, A_1]`` otherwise, with
+``A_1`` the Theorem 2 bound), generate the rest of each candidate sequence
+with the Eq. (11) recurrence, score every *valid* candidate, and keep the
+best.  Candidates whose recurrence stops increasing are infeasible and are
+skipped — these are the gaps of Fig. 3.
+
+Scoring follows the paper's Monte-Carlo process (Eq. 13) with ``N`` samples;
+the same sample set is reused across candidates (common random numbers), so
+the scan is a fair comparison and the complexity is O(M N).  An exact
+variant scores with the Theorem 1 series instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Literal, Optional
+
+import numpy as np
+
+from repro.core.bounds import t1_search_interval
+from repro.core.cost import CostModel
+from repro.core.expectation import expected_cost_series
+from repro.core.recurrence import (
+    RecurrenceError,
+    next_reservation,
+    optimal_sequence_from_t1,
+)
+from repro.core.sequence import ReservationSequence, SequenceError
+from repro.simulation.monte_carlo import costs_for_times
+from repro.strategies.base import Strategy
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = ["BruteForce", "BruteForceScan", "ScanPoint"]
+
+
+@dataclass(frozen=True)
+class ScanPoint:
+    """One candidate ``t_1`` with its estimated expected cost.
+
+    ``expected_cost`` is ``None`` when the Eq. (11) sequence from this ``t_1``
+    is invalid (non-increasing) — rendered as "(-)" in Table 3.
+    """
+
+    t1: float
+    expected_cost: Optional[float]
+
+    @property
+    def feasible(self) -> bool:
+        return self.expected_cost is not None
+
+
+@dataclass(frozen=True)
+class BruteForceScan:
+    """Full scan output (drives Table 3 and Fig. 3)."""
+
+    points: List[ScanPoint]
+    best_t1: float
+    best_cost: float
+    interval: tuple[float, float]
+
+    @property
+    def feasible_fraction(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(p.feasible for p in self.points) / len(self.points)
+
+
+class BruteForce(Strategy):
+    """Grid search over ``t_1`` + Eq. (11) completion (paper Section 4.1).
+
+    Parameters
+    ----------
+    m_grid:
+        Number of ``t_1`` candidates (paper: 5000).
+    n_samples:
+        Monte-Carlo samples per candidate (paper: 1000).
+    evaluation:
+        ``"monte_carlo"`` (paper's method) or ``"series"`` (exact Theorem 1
+        series; deterministic, slightly slower per candidate).
+    seed:
+        RNG seed for the shared Monte-Carlo sample set.
+    """
+
+    name = "brute_force"
+
+    def __init__(
+        self,
+        m_grid: int = 5000,
+        n_samples: int = 1000,
+        evaluation: Literal["monte_carlo", "series"] = "monte_carlo",
+        seed: SeedLike = None,
+    ):
+        if m_grid < 1:
+            raise ValueError(f"m_grid must be >= 1, got {m_grid}")
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        if evaluation not in ("monte_carlo", "series"):
+            raise ValueError(f"unknown evaluation mode {evaluation!r}")
+        self.m_grid = m_grid
+        self.n_samples = n_samples
+        self.evaluation = evaluation
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def candidate_cost(
+        self,
+        t1: float,
+        distribution,
+        cost_model: CostModel,
+        samples: Optional[np.ndarray] = None,
+    ) -> Optional[float]:
+        """Expected cost of the Eq. (11) sequence from ``t1``; ``None`` if
+        infeasible."""
+        try:
+            if samples is not None:
+                # Lazy generation: the candidate only has to cover the
+                # largest sampled execution time (the paper's procedure).
+                seq = optimal_sequence_from_t1(t1, distribution, cost_model)
+                return float(costs_for_times(seq, samples, cost_model).mean())
+            # Exact series: the candidate must cover the whole tail.
+            seq = optimal_sequence_from_t1(t1, distribution, cost_model, eager=True)
+            return expected_cost_series(seq, distribution, cost_model)
+        except (RecurrenceError, SequenceError):
+            return None
+
+    def scan(
+        self,
+        distribution,
+        cost_model: CostModel,
+        samples: Optional[np.ndarray] = None,
+    ) -> BruteForceScan:
+        """Evaluate all ``m_grid`` candidates and return the full landscape.
+
+        ``samples`` (monte_carlo mode only) lets a caller score the scan on a
+        shared sample set — common random numbers across strategies, as in
+        the Table 2 / Fig. 4 comparisons.
+        """
+        lo, hi = t1_search_interval(distribution, cost_model)
+        if self.evaluation == "monte_carlo":
+            if samples is None:
+                rng = as_generator(self.seed)
+                samples = distribution.rvs(self.n_samples, seed=rng)
+            else:
+                samples = np.asarray(samples, dtype=float)
+        elif samples is not None:
+            raise ValueError("samples are only meaningful in monte_carlo mode")
+
+        points: List[ScanPoint] = []
+        best_t1, best_cost = math.nan, math.inf
+        # Paper's grid: t1 = a + m (b-a)/M for m = 1..M (skips the degenerate
+        # left endpoint, includes the right one).
+        for m in range(1, self.m_grid + 1):
+            t1 = lo + m * (hi - lo) / self.m_grid
+            cost = self.candidate_cost(t1, distribution, cost_model, samples)
+            points.append(ScanPoint(t1=t1, expected_cost=cost))
+            if cost is not None and cost < best_cost:
+                best_t1, best_cost = t1, cost
+        if not math.isfinite(best_cost):
+            raise SequenceError(
+                f"BRUTE-FORCE found no feasible t1 in [{lo}, {hi}] for "
+                f"{distribution.describe()}"
+            )
+        return BruteForceScan(
+            points=points, best_t1=best_t1, best_cost=best_cost, interval=(lo, hi)
+        )
+
+    def sequence(
+        self,
+        distribution,
+        cost_model: CostModel,
+        samples: Optional[np.ndarray] = None,
+    ) -> ReservationSequence:
+        scan = self.scan(distribution, cost_model, samples=samples)
+        return self.sequence_from_scan(scan, distribution, cost_model)
+
+    def sequence_from_scan(
+        self, scan: BruteForceScan, distribution, cost_model: CostModel
+    ) -> ReservationSequence:
+        """Materialize the winning sequence of an existing scan."""
+        inner = optimal_sequence_from_t1(scan.best_t1, distribution, cost_model)
+        hi = distribution.upper
+
+        def extend(current: np.ndarray) -> float:
+            # Eq. (11) first; if the recurrence collapses beyond the range the
+            # scan validated (possible for near-separatrix winners), fall back
+            # to the conditional-expectation step, then doubling.  Any strictly
+            # increasing tail completion keeps the sequence valid (Sec. 4.2.2).
+            prev = float(current[-1])
+            try:
+                nxt = next_reservation(
+                    float(current[-2]) if current.size >= 2 else 0.0,
+                    prev,
+                    distribution,
+                    cost_model,
+                )
+                if np.isfinite(nxt) and nxt > prev:
+                    return min(nxt, hi) if math.isfinite(hi) else nxt
+            except (RecurrenceError, SequenceError):
+                pass
+            if math.isfinite(hi):
+                return hi
+            try:
+                nxt = float(distribution.conditional_expectation(prev))
+            except Exception:
+                nxt = prev * 2.0
+            return nxt if nxt > prev else prev * 2.0
+
+        extender = None if inner.last >= hi else extend
+        seq = ReservationSequence(inner.values, extend=extender, name=self.name)
+        return seq

@@ -1,0 +1,100 @@
+"""Optimal dynamic programming for discrete distributions (Theorem 5).
+
+For ``X ~ (v_i, f_i)_{i=1..n}``, let ``E*_i`` be the optimal expected cost
+given ``X >= v_i`` (with the suffix distribution renormalized).  Theorem 5:
+
+``E*_i = min_{i<=j<=n} [ alpha v_j + gamma + sum_{k=i..j} f'_k beta v_k
+                         + (sum_{k>j} f'_k)(beta v_j + E*_{j+1}) ]``.
+
+To keep the scan O(n^2) without re-normalizing at every level we work with
+the *unnormalized* value ``U_i = E*_i W_i`` where ``W_i = sum_{k>=i} f_k``:
+
+``U_i = min_j [ (alpha v_j + gamma) W_i + beta (S_j - S_{i-1})
+                + beta v_j W_{j+1} + U_{j+1} ]``
+
+with prefix sums ``S_j = sum_{k<=j} f_k v_k`` and ``U_{n+1} = 0``.  Each
+level is one vectorized NumPy scan over ``j``.
+
+When the discrete law comes from truncating an unbounded one, the masses sum
+to ``1 - eps``; the DP then optimizes the cost conditioned on ``X <= b``,
+exactly as in the paper, and the caller appends tail reservations beyond
+``b`` with a fallback heuristic (Section 4.2.2, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence
+from repro.distributions.discrete import DiscreteDistribution
+
+__all__ = ["DiscreteDPResult", "solve_discrete_dp", "dp_sequence_for_discrete"]
+
+
+@dataclass(frozen=True)
+class DiscreteDPResult:
+    """Optimal solution for a discrete distribution."""
+
+    expected_cost: float  # E*_1, conditioned on X <= v_n for truncated laws
+    reservations: np.ndarray  # the optimal reservation values (subset of v)
+    choice_indices: np.ndarray  # indices into v of each chosen reservation
+    #: Unnormalized value function: value_unnormalized[i] = W_i E*_i, the
+    #: optimal cost-to-go given X >= v_i (0-indexed; entry n is 0).  Exposed
+    #: so constrained variants (deadline DP) can reuse the suffix solution.
+    value_unnormalized: np.ndarray = None  # type: ignore[assignment]
+
+
+def solve_discrete_dp(
+    discrete: DiscreteDistribution, cost_model: CostModel
+) -> DiscreteDPResult:
+    """Run the Theorem 5 dynamic program and backtrack the optimal sequence."""
+    v = discrete.values
+    f = discrete.masses / discrete.masses.sum()  # DP is over the conditional law
+    n = v.size
+    alpha, beta, gamma = cost_model.alpha, cost_model.beta, cost_model.gamma
+
+    # W[i] = sum_{k >= i} f_k  (1-indexed semantics, arrays 0-indexed).
+    suffix = np.concatenate([np.cumsum(f[::-1])[::-1], [0.0]])  # length n+1
+    prefix_fv = np.concatenate([[0.0], np.cumsum(f * v)])  # S_j, length n+1
+
+    U = np.zeros(n + 1)  # U[i] for i = 0..n ; U[n] = 0 (past the end)
+    choice = np.zeros(n, dtype=np.intp)
+
+    # Terms independent of i: (alpha v_j + gamma) is scaled by W_i, so split:
+    #   U_i = min_j [ (alpha v_j + gamma) W_i + beta (S_j - S_{i-1})
+    #                 + beta v_j W_{j+1} + U_{j+1} ]
+    # For each i we scan j = i..n-1 (0-indexed).
+    base_j = beta * v * suffix[1:] + beta * prefix_fv[1:]  # beta v_j W_{j+1} + beta S_j
+    for i in range(n - 1, -1, -1):
+        j = np.arange(i, n)
+        cand = (alpha * v[j] + gamma) * suffix[i] + base_j[j] - beta * prefix_fv[i] + U[j + 1]
+        k = int(np.argmin(cand))
+        choice[i] = i + k
+        U[i] = float(cand[k])
+
+    # Backtrack from i = 0.
+    picks: List[int] = []
+    i = 0
+    while i < n:
+        j = int(choice[i])
+        picks.append(j)
+        i = j + 1
+    reservations = v[np.asarray(picks, dtype=np.intp)]
+    return DiscreteDPResult(
+        expected_cost=float(U[0] / suffix[0]),
+        reservations=reservations,
+        choice_indices=np.asarray(picks, dtype=np.intp),
+        value_unnormalized=U,
+    )
+
+
+def dp_sequence_for_discrete(
+    discrete: DiscreteDistribution, cost_model: CostModel
+) -> ReservationSequence:
+    """Convenience wrapper returning the optimal discrete sequence."""
+    result = solve_discrete_dp(discrete, cost_model)
+    return ReservationSequence(result.reservations, name="discrete-dp")

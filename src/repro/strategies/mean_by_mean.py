@@ -1,0 +1,71 @@
+"""MEAN-BY-MEAN heuristic (Section 4.3, Appendix B).
+
+Start at the distribution mean, then repeatedly reserve the conditional
+expectation of the remaining mass:
+
+``t_1 = E[X]``,  ``t_i = E[X | X > t_{i-1}]``.
+
+The per-distribution closed forms of Table 6 live in each distribution's
+``conditional_expectation`` method; this strategy only orchestrates the
+recursion.  For bounded supports the recursion converges to the upper bound
+``b`` without reaching it — once floating point stalls the climb, the
+sequence is finished off with ``b`` itself so that every execution time is
+covered.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence, SequenceError
+from repro.strategies.base import Strategy
+from repro.utils.numeric import MONOTONE_ATOL
+
+__all__ = ["MeanByMean"]
+
+
+class MeanByMean(Strategy):
+    """``t_1 = mu``, ``t_i = E[X | X > t_{i-1}]`` (Table 6 recursions)."""
+
+    name = "mean_by_mean"
+
+    def __init__(self, initial_length: int = 8):
+        if initial_length < 1:
+            raise ValueError(f"initial_length must be >= 1, got {initial_length}")
+        self.initial_length = initial_length
+
+    def sequence(self, distribution, cost_model: CostModel) -> ReservationSequence:
+        hi = distribution.upper
+        mean = distribution.mean()
+        if not math.isfinite(mean):
+            raise SequenceError(
+                f"MEAN-BY-MEAN needs a finite mean; {distribution.describe()}"
+            )
+
+        def step(prev: float) -> float:
+            if math.isfinite(hi) and prev >= hi:
+                raise SequenceError("sequence already covers the bounded support")
+            nxt = float(distribution.conditional_expectation(prev))
+            if math.isfinite(hi):
+                # Floating-point stall near the bound: close with b.
+                if nxt <= prev + MONOTONE_ATOL or nxt > hi:
+                    return hi
+            return nxt
+
+        values = [min(mean, hi)]
+        for _ in range(self.initial_length - 1):
+            if math.isfinite(hi) and values[-1] >= hi:
+                break
+            nxt = step(values[-1])
+            if nxt <= values[-1] + MONOTONE_ATOL:
+                break
+            values.append(nxt)
+
+        def extend(current: np.ndarray) -> float:
+            return step(float(current[-1]))
+
+        extender = None if (math.isfinite(hi) and values[-1] >= hi) else extend
+        return ReservationSequence(values, extend=extender, name=self.name)

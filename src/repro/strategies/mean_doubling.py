@@ -1,0 +1,55 @@
+"""MEAN-DOUBLING heuristic (Section 4.3).
+
+``t_i = 2^{i-1} mu`` — the classic geometric doubling strategy, guaranteeing
+at most ``log2(t / mu) + 1`` reservations for a job of duration ``t``.  For
+bounded supports the geometric ladder is cut at the upper bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence, SequenceError
+from repro.strategies.base import Strategy
+
+__all__ = ["MeanDoubling"]
+
+
+class MeanDoubling(Strategy):
+    """``t_i = 2^{i-1} mu``, clipped at the support's upper bound."""
+
+    name = "mean_doubling"
+
+    def __init__(self, factor: float = 2.0, initial_length: int = 8):
+        if factor <= 1.0:
+            raise ValueError(f"doubling factor must exceed 1, got {factor}")
+        if initial_length < 1:
+            raise ValueError(f"initial_length must be >= 1, got {initial_length}")
+        self.factor = float(factor)
+        self.initial_length = initial_length
+
+    def sequence(self, distribution, cost_model: CostModel) -> ReservationSequence:
+        mu = distribution.mean()
+        hi = distribution.upper
+        if not math.isfinite(mu) or mu <= 0:
+            raise SequenceError(
+                f"MEAN-DOUBLING needs a finite positive mean; {distribution.describe()}"
+            )
+
+        values: list[float] = []
+        t = mu
+        for _ in range(self.initial_length):
+            if t >= hi:
+                values.append(hi)
+                break
+            values.append(t)
+            t *= self.factor
+
+        def extend(current: np.ndarray) -> float:
+            return min(float(current[-1]) * self.factor, hi)
+
+        extender = None if values[-1] >= hi else extend
+        return ReservationSequence(values, extend=extender, name=self.name)

@@ -1,0 +1,54 @@
+"""MEAN-STDEV heuristic (Section 4.3).
+
+``t_1 = mu``, then arithmetic increments of one standard deviation:
+``t_i = mu + (i-1) sigma``.  For bounded supports the progression is cut at
+the upper bound ``b`` (which then covers every execution time).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence, SequenceError
+from repro.strategies.base import Strategy
+
+__all__ = ["MeanStdev"]
+
+
+class MeanStdev(Strategy):
+    """``t_i = mu + (i-1) sigma``, clipped at the support's upper bound."""
+
+    name = "mean_stdev"
+
+    def __init__(self, initial_length: int = 8):
+        if initial_length < 1:
+            raise ValueError(f"initial_length must be >= 1, got {initial_length}")
+        self.initial_length = initial_length
+
+    def sequence(self, distribution, cost_model: CostModel) -> ReservationSequence:
+        mu = distribution.mean()
+        sigma = distribution.std()
+        hi = distribution.upper
+        if not (math.isfinite(mu) and math.isfinite(sigma)):
+            raise SequenceError(
+                f"MEAN-STDEV needs finite mean/std; {distribution.describe()}"
+            )
+        if sigma <= 0:
+            raise SequenceError("MEAN-STDEV needs a positive standard deviation")
+
+        values: list[float] = []
+        for i in range(self.initial_length):
+            t = mu + i * sigma
+            if t >= hi:  # bounded support reached: close with b and stop
+                values.append(hi)
+                break
+            values.append(t)
+
+        def extend(current: np.ndarray) -> float:
+            return min(float(current[-1]) + sigma, hi)
+
+        extender = None if values[-1] >= hi else extend
+        return ReservationSequence(values, extend=extender, name=self.name)

@@ -1,0 +1,67 @@
+"""MEDIAN-BY-MEDIAN heuristic (Section 4.3).
+
+``t_1 = Q(1/2)`` (the median), then halve the remaining survival mass each
+step: ``t_i = Q(1 - 2^{-i})``.  Equivalently, each new reservation is the
+median of the distribution restricted to the still-uncovered tail.
+
+For unbounded laws this produces a strictly increasing unbounded sequence;
+for bounded ones it converges to ``b``, and once floating point stalls the
+climb the sequence is closed with ``b`` itself.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence
+from repro.strategies.base import Strategy
+from repro.utils.numeric import MONOTONE_ATOL
+
+__all__ = ["MedianByMedian"]
+
+
+class MedianByMedian(Strategy):
+    """``t_i = Q(1 - 2^{-i})``."""
+
+    name = "median_by_median"
+
+    def __init__(self, initial_length: int = 8):
+        if initial_length < 1:
+            raise ValueError(f"initial_length must be >= 1, got {initial_length}")
+        self.initial_length = initial_length
+
+    def sequence(self, distribution, cost_model: CostModel) -> ReservationSequence:
+        hi = distribution.upper
+
+        def quantile_at(i: int) -> float:
+            # 1 - 2^{-i} keeps full precision up to i ~ 50; past that the
+            # survival weight (< 1e-15) is irrelevant to any evaluator.
+            q = 1.0 - 0.5**i
+            return float(distribution.quantile(q))
+
+        values = [quantile_at(1)]
+        state = {"i": 1}
+        for _ in range(self.initial_length - 1):
+            nxt = quantile_at(state["i"] + 1)
+            if nxt <= values[-1] + MONOTONE_ATOL or not math.isfinite(nxt):
+                break
+            values.append(nxt)
+            state["i"] += 1
+
+        def extend(current: np.ndarray) -> float:
+            state["i"] += 1
+            nxt = quantile_at(state["i"])
+            prev = float(current[-1])
+            if nxt <= prev + MONOTONE_ATOL or not math.isfinite(nxt):
+                if math.isfinite(hi) and prev < hi:
+                    return hi
+                # Unbounded law with a stalled quantile ladder: fall back to
+                # doubling so coverage is still guaranteed.
+                return prev * 2.0
+            return nxt
+
+        extender = None if (math.isfinite(hi) and values[-1] >= hi) else extend
+        return ReservationSequence(values, extend=extender, name=self.name)

@@ -1,0 +1,35 @@
+"""Omniscient baseline (Section 5.1).
+
+The omniscient scheduler knows the execution time ``t`` in advance and makes
+a single exact reservation; its expected cost is
+``E^o = (alpha + beta) E[X] + gamma``.  It is not implementable (it needs
+clairvoyance) and exists purely as the normalization denominator of every
+table and figure — but we also expose per-job costs so tests can verify that
+every real strategy is pointwise at least as expensive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import CostModel
+
+__all__ = ["Omniscient"]
+
+
+class Omniscient:
+    """Clairvoyant single-reservation baseline (not a :class:`Strategy`:
+    its 'sequence' depends on the job, so it cannot produce one)."""
+
+    name = "omniscient"
+
+    def expected_cost(self, distribution, cost_model: CostModel) -> float:
+        """``E^o = (alpha + beta) E[X] + gamma``."""
+        return cost_model.omniscient_expected_cost(distribution)
+
+    def costs_for_times(self, times, cost_model: CostModel) -> np.ndarray:
+        """Per-job cost ``(alpha + beta) t + gamma`` (one exact reservation)."""
+        times = np.asarray(times, dtype=float)
+        if np.any(times < 0):
+            raise ValueError("execution times must be nonnegative")
+        return (cost_model.alpha + cost_model.beta) * times + cost_model.gamma

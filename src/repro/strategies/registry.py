@@ -1,0 +1,74 @@
+"""Strategy registry and the paper's evaluation lineup.
+
+``paper_strategies()`` returns the seven heuristics in the column order of
+Table 2: BRUTE-FORCE, MEAN-BY-MEAN, MEAN-STDEV, MEAN-DOUBLING,
+MEDIAN-BY-MEDIAN, EQUAL-TIME, EQUAL-PROBABILITY.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.discretization.truncation import DEFAULT_EPSILON
+from repro.strategies.base import Strategy
+from repro.strategies.brute_force import BruteForce
+from repro.strategies.discretized_dp import EqualProbabilityDP, EqualTimeDP
+from repro.strategies.mean_by_mean import MeanByMean
+from repro.strategies.mean_doubling import MeanDoubling
+from repro.strategies.mean_stdev import MeanStdev
+from repro.strategies.median_by_median import MedianByMedian
+from repro.utils.rng import SeedLike
+
+__all__ = ["PAPER_STRATEGY_ORDER", "paper_strategies", "make_strategy"]
+
+#: Column order of Table 2.
+PAPER_STRATEGY_ORDER: List[str] = [
+    "brute_force",
+    "mean_by_mean",
+    "mean_stdev",
+    "mean_doubling",
+    "median_by_median",
+    "equal_time_dp",
+    "equal_probability_dp",
+]
+
+
+def make_strategy(name: str, **kwargs) -> Strategy:
+    """Instantiate a strategy by canonical name."""
+    key = name.lower().replace("-", "_")
+    factories = {
+        "brute_force": BruteForce,
+        "mean_by_mean": MeanByMean,
+        "mean_stdev": MeanStdev,
+        "mean_doubling": MeanDoubling,
+        "median_by_median": MedianByMedian,
+        "equal_time_dp": EqualTimeDP,
+        "equal_probability_dp": EqualProbabilityDP,
+    }
+    if key not in factories:
+        raise KeyError(f"unknown strategy {name!r}; known: {sorted(factories)}")
+    return factories[key](**kwargs)
+
+
+def paper_strategies(
+    m_grid: int = 5000,
+    n_samples: int = 1000,
+    n_discrete: int = 1000,
+    epsilon: float = DEFAULT_EPSILON,
+    seed: SeedLike = None,
+) -> Dict[str, Strategy]:
+    """The seven Table 2 heuristics with the paper's hyperparameters.
+
+    Pass smaller ``m_grid`` / ``n_discrete`` for quick runs (tests, smoke
+    benchmarks); the defaults match Section 5 (M=5000, N=1000, n=1000,
+    eps=1e-7).
+    """
+    return {
+        "brute_force": BruteForce(m_grid=m_grid, n_samples=n_samples, seed=seed),
+        "mean_by_mean": MeanByMean(),
+        "mean_stdev": MeanStdev(),
+        "mean_doubling": MeanDoubling(),
+        "median_by_median": MedianByMedian(),
+        "equal_time_dp": EqualTimeDP(n=n_discrete, epsilon=epsilon),
+        "equal_probability_dp": EqualProbabilityDP(n=n_discrete, epsilon=epsilon),
+    }

@@ -1,0 +1,84 @@
+"""Terminal plotting: sparklines and bar charts for the experiment CLI.
+
+No plotting stack is assumed offline, so the harness renders figures as
+unicode block graphics: Fig. 3's cost landscapes become sparklines (with
+gaps where the ``t_1`` candidate is infeasible) and Fig. 4's comparisons
+become horizontal bars.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+__all__ = ["sparkline", "bar_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_GAP = "·"
+
+
+def _resample(values: Sequence[Optional[float]], width: int) -> list:
+    """Reduce ``values`` to ``width`` buckets (mean of finite entries;
+    ``None`` when a bucket holds no finite value)."""
+    n = len(values)
+    out = []
+    for b in range(width):
+        lo = b * n // width
+        hi = max((b + 1) * n // width, lo + 1)
+        bucket = [v for v in values[lo:hi] if v is not None and math.isfinite(v)]
+        out.append(sum(bucket) / len(bucket) if bucket else None)
+    return out
+
+
+def sparkline(values: Sequence[Optional[float]], width: int = 60) -> str:
+    """Render a series as a one-line sparkline.
+
+    ``None`` / non-finite entries render as ``·`` — the infeasibility gaps
+    of Fig. 3.  Values are min-max scaled over the finite entries.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if not values:
+        return ""
+    series = _resample(list(values), min(width, len(values)))
+    finite = [v for v in series if v is not None]
+    if not finite:
+        return _GAP * len(series)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in series:
+        if v is None:
+            chars.append(_GAP)
+        elif span <= 0:
+            chars.append(_BLOCKS[0])
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1) + 0.5)
+            chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and value suffixes."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if not labels:
+        return ""
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    vmax = max(values)
+    if vmax <= 0:
+        raise ValueError("bar chart needs at least one positive value")
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, v in zip(labels, values):
+        n = max(int(round(v / vmax * width)), 1 if v > 0 else 0)
+        lines.append(f"{label.ljust(label_w)} | {'█' * n} {v:.3g}{unit}")
+    return "\n".join(lines)

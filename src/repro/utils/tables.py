@@ -1,0 +1,59 @@
+"""ASCII table / CSV rendering for the experiment harness.
+
+The experiment scripts regenerate the paper's tables as plain text so that
+results can be diffed against EXPERIMENTS.md without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def format_float(value: float | None, digits: int = 2, dash: str = "-") -> str:
+    """Render ``value`` with ``digits`` decimals; ``None``/nan/inf become ``dash``.
+
+    The paper marks infeasible brute-force candidates with ``(-)``; we use the
+    same convention for non-increasing sequences.
+    """
+    if value is None:
+        return dash
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return dash
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a monospace table with a header rule, paper-style."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a simple CSV string (no quoting; numeric payloads only)."""
+    out = [",".join(headers)]
+    for row in rows:
+        out.append(",".join(str(c) for c in row))
+    return "\n".join(out)

@@ -1,0 +1,121 @@
+"""Tests for batchsim jobs and cluster state."""
+
+import pytest
+
+from repro.batchsim import Cluster, Job, JobState
+
+
+def make_job(job_id=0, submit=0.0, nodes=1, requested=2.0, actual=1.5):
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        nodes=nodes,
+        requested_runtime=requested,
+        actual_runtime=actual,
+    )
+
+
+class TestJob:
+    def test_runs_for_is_min(self):
+        assert make_job(requested=2.0, actual=1.5).runs_for == 1.5
+        assert make_job(requested=2.0, actual=3.0).runs_for == 2.0
+
+    def test_hits_wall(self):
+        assert make_job(requested=1.0, actual=2.0).hits_wall
+        assert not make_job(requested=2.0, actual=1.0).hits_wall
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"nodes": 0},
+            {"requested": 0.0},
+            {"actual": -1.0},
+            {"submit": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make_job(**kwargs)
+
+    def test_wait_and_turnaround_require_lifecycle(self):
+        j = make_job()
+        with pytest.raises(ValueError):
+            _ = j.wait_time
+        with pytest.raises(ValueError):
+            _ = j.turnaround
+        j.start_time = 3.0
+        assert j.wait_time == 3.0
+        j.end_time = 4.5
+        assert j.turnaround == 4.5
+
+
+class TestCluster:
+    def test_capacity_accounting(self):
+        c = Cluster(8)
+        j = make_job(nodes=3)
+        assert c.free_nodes == 8
+        c.start(j, now=0.0)
+        assert c.used_nodes == 3
+        assert c.free_nodes == 5
+        c.finish(j, now=1.5)
+        assert c.free_nodes == 8
+        assert j.state is JobState.COMPLETED
+        assert j.end_time == 1.5
+
+    def test_killed_state(self):
+        c = Cluster(4)
+        j = make_job(nodes=1, requested=1.0, actual=2.0)
+        c.start(j, now=0.0)
+        c.finish(j, now=1.0)
+        assert j.state is JobState.KILLED
+
+    def test_cannot_overcommit(self):
+        c = Cluster(2)
+        with pytest.raises(ValueError, match="free"):
+            c.start(make_job(nodes=3), now=0.0)
+
+    def test_cannot_start_twice(self):
+        c = Cluster(4)
+        j = make_job(nodes=1)
+        c.start(j, now=0.0)
+        with pytest.raises(ValueError, match="pending"):
+            c.start(j, now=0.0)
+
+    def test_finish_unknown(self):
+        c = Cluster(4)
+        with pytest.raises(ValueError, match="not running"):
+            c.finish(make_job(), now=0.0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+
+class TestShadowTime:
+    def test_immediate_when_free(self):
+        c = Cluster(8)
+        shadow, extra = c.shadow_time(3, now=5.0)
+        assert shadow == 5.0
+        assert extra == 5
+
+    def test_waits_for_releases(self):
+        c = Cluster(4)
+        a = make_job(job_id=1, nodes=3, requested=10.0, actual=10.0)
+        c.start(a, now=0.0)
+        # 1 node free; need 2 -> must wait for a's requested end at t=10.
+        shadow, extra = c.shadow_time(2, now=1.0)
+        assert shadow == 10.0
+        assert extra == 2  # 4 free at t=10, 2 beyond the need
+
+    def test_uses_requested_not_actual(self):
+        """Planning uses the reservation wall even if the job ends sooner."""
+        c = Cluster(2)
+        a = make_job(job_id=1, nodes=2, requested=8.0, actual=1.0)
+        c.start(a, now=0.0)
+        shadow, _ = c.shadow_time(1, now=0.5)
+        assert shadow == 8.0
+
+    def test_oversized_request_rejected(self):
+        c = Cluster(4)
+        with pytest.raises(ValueError, match="exceeds"):
+            c.shadow_time(5, now=0.0)

@@ -1,0 +1,142 @@
+"""Tests for the in-vivo reservation flow (resubmission inside the queue)."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, EqualProbabilityDP, MeanByMean, MedianByMedian, Uniform
+from repro.batchsim import Job, JobState, run_reservation_flow, simulate
+from repro.platforms.neurohpc import vbmqa_hours_distribution
+
+
+class TestOnFinishHook:
+    def test_resubmission_chains(self):
+        """A job killed at its wall comes back and eventually completes."""
+        first = Job(job_id=0, submit_time=0.0, nodes=1,
+                    requested_runtime=1.0, actual_runtime=2.5)
+
+        def on_finish(job, now):
+            if job.state is JobState.KILLED:
+                return [
+                    Job(
+                        job_id=job.job_id + 1,
+                        submit_time=now,
+                        nodes=1,
+                        requested_runtime=job.requested_runtime * 2,
+                        actual_runtime=job.actual_runtime,
+                    )
+                ]
+            return ()
+
+        result = simulate([first], total_nodes=2, on_finish=on_finish)
+        states = [j.state for j in result.jobs]
+        # Runtime 2.5 with doubling requests 1 -> 2 -> 4: two kills, then done.
+        assert states.count(JobState.KILLED) == 2
+        assert states.count(JobState.COMPLETED) == 1
+        assert len(result.jobs) == 3
+
+    def test_resubmitting_into_the_past_rejected(self):
+        first = Job(job_id=0, submit_time=0.0, nodes=1,
+                    requested_runtime=1.0, actual_runtime=2.0)
+
+        def bad_hook(job, now):
+            if job.state is JobState.KILLED:
+                return [
+                    Job(job_id=1, submit_time=now - 0.5, nodes=1,
+                        requested_runtime=4.0, actual_runtime=2.0)
+                ]
+            return ()
+
+        with pytest.raises(ValueError, match="past"):
+            simulate([first], total_nodes=2, on_finish=bad_hook)
+
+
+class TestReservationFlow:
+    @pytest.fixture(scope="class")
+    def vbmqa(self):
+        return vbmqa_hours_distribution()
+
+    def test_all_jobs_complete(self, vbmqa):
+        flow = run_reservation_flow(
+            MeanByMean(), vbmqa, n_jobs=100, total_nodes=8,
+            arrival_rate=10.0, seed=0,
+        )
+        assert all(r.completed for r in flow.runs)
+        assert flow.mean_attempts() >= 1.0
+
+    def test_attempt_lengths_follow_sequence(self, vbmqa):
+        cm = CostModel.neurohpc()
+        flow = run_reservation_flow(
+            MeanByMean(), vbmqa, n_jobs=50, total_nodes=8,
+            arrival_rate=10.0, seed=1, cost_model=cm,
+        )
+        seq = MeanByMean().sequence(vbmqa, cm)
+        multi = [r for r in flow.runs if r.n_attempts >= 2]
+        assert multi, "expected at least one multi-attempt job"
+        for run in multi:
+            for k, attempt in enumerate(run.attempts):
+                assert attempt.requested_runtime == pytest.approx(seq[k])
+
+    def test_turnaround_accounting(self, vbmqa):
+        flow = run_reservation_flow(
+            MeanByMean(), vbmqa, n_jobs=60, total_nodes=8,
+            arrival_rate=10.0, seed=2,
+        )
+        for run in flow.runs:
+            # Turnaround >= execution time of the final successful attempt
+            # plus all failed walls.
+            walls = sum(a.requested_runtime for a in run.attempts[:-1])
+            assert run.turnaround >= walls + run.actual_runtime - 1e-9
+
+    def test_same_jobs_across_strategies(self, vbmqa):
+        """Equal seeds -> identical job runtimes and arrivals, so flows are
+        directly comparable (common random numbers)."""
+        a = run_reservation_flow(
+            MeanByMean(), vbmqa, n_jobs=40, total_nodes=8,
+            arrival_rate=10.0, seed=3,
+        )
+        b = run_reservation_flow(
+            MedianByMedian(), vbmqa, n_jobs=40, total_nodes=8,
+            arrival_rate=10.0, seed=3,
+        )
+        np.testing.assert_allclose(
+            [r.actual_runtime for r in a.runs],
+            [r.actual_runtime for r in b.runs],
+        )
+
+    def test_dp_beats_median_in_vivo(self, vbmqa):
+        """The Fig. 4 ordering survives inside the real queue."""
+        dp = run_reservation_flow(
+            EqualProbabilityDP(n=200), vbmqa, n_jobs=300, total_nodes=16,
+            arrival_rate=20.0, seed=4,
+        )
+        mdm = run_reservation_flow(
+            MedianByMedian(), vbmqa, n_jobs=300, total_nodes=16,
+            arrival_rate=20.0, seed=4,
+        )
+        assert dp.mean_turnaround() < mdm.mean_turnaround()
+        assert dp.mean_attempts() < mdm.mean_attempts()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_jobs": 0},
+            {"arrival_rate": 0.0},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_validation(self, vbmqa, kwargs):
+        base = dict(n_jobs=5, total_nodes=4, arrival_rate=5.0, seed=0)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            run_reservation_flow(MeanByMean(), vbmqa, **base)
+
+    def test_uniform_single_attempt(self):
+        """A bounded law with a singleton sequence: nobody is ever killed."""
+        from repro.strategies.mean_stdev import MeanStdev
+
+        d = Uniform(0.5, 1.0)
+        flow = run_reservation_flow(
+            MeanStdev(), d, n_jobs=50, total_nodes=8, arrival_rate=10.0, seed=5,
+        )
+        assert flow.mean_attempts() < 2.5
+        assert all(r.completed for r in flow.runs)

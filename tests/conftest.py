@@ -1,0 +1,64 @@
+"""Shared fixtures: the paper's nine distributions, cost models, and RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CostModel, paper_distributions
+from repro.distributions.registry import PAPER_ORDER
+
+
+@pytest.fixture(scope="session")
+def all_distributions():
+    """The nine Table 1 laws (session-scoped: they are immutable)."""
+    return paper_distributions()
+
+
+@pytest.fixture(params=PAPER_ORDER)
+def any_distribution(request, all_distributions):
+    """Parametrized over every paper distribution."""
+    return all_distributions[request.param]
+
+
+@pytest.fixture(
+    params=[name for name in PAPER_ORDER if name not in ("uniform", "beta",
+                                                          "bounded_pareto")]
+)
+def unbounded_distribution(request, all_distributions):
+    """Parametrized over the six unbounded-support laws."""
+    return all_distributions[request.param]
+
+
+@pytest.fixture(params=["uniform", "beta", "bounded_pareto"])
+def bounded_distribution(request, all_distributions):
+    """Parametrized over the three bounded-support laws."""
+    return all_distributions[request.param]
+
+
+@pytest.fixture
+def reservation_only():
+    return CostModel.reservation_only()
+
+
+@pytest.fixture
+def neurohpc_cost():
+    return CostModel.neurohpc()
+
+
+@pytest.fixture(
+    params=[
+        CostModel(alpha=1.0, beta=0.0, gamma=0.0),
+        CostModel(alpha=0.95, beta=1.0, gamma=1.05),
+        CostModel(alpha=2.0, beta=0.5, gamma=0.25),
+    ],
+    ids=["reservation-only", "neurohpc", "mixed"],
+)
+def any_cost_model(request):
+    """Parametrized over three representative cost models."""
+    return request.param
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,65 @@
+"""Tests for the Theorem 2 bounds A_1, A_2."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostModel,
+    Exponential,
+    Pareto,
+    compute_bounds,
+    expected_cost_series,
+    t1_search_interval,
+)
+from repro.core.sequence import ReservationSequence, constant_extender
+
+
+class TestFormulas:
+    def test_exponential_reservation_only(self):
+        """Exp(1), alpha=1, beta=gamma=0, a=0:
+        A_1 = 1 + 1 + E[X^2]/2 + E[X] = 1 + 1 + 1 + 1 = 4."""
+        b = compute_bounds(Exponential(1.0), CostModel.reservation_only())
+        assert b.a1 == pytest.approx(4.0)
+        assert b.a2 == pytest.approx(4.0)  # beta=0, gamma=0, alpha=1
+
+    def test_general_parameters(self):
+        d = Exponential(2.0)  # E[X]=0.5, E[X^2]=0.5
+        cm = CostModel(alpha=2.0, beta=1.0, gamma=0.5)
+        a1 = 0.5 + 1.0 + (3.0 / 4.0) * 0.5 + (3.5 / 2.0) * 0.5
+        b = compute_bounds(d, cm)
+        assert b.a1 == pytest.approx(a1)
+        assert b.a2 == pytest.approx(1.0 * 0.5 + 2.0 * a1 + 0.5)
+
+    def test_infinite_second_moment_rejected(self):
+        d = Pareto(1.0, 1.5)  # E[X^2] = inf
+        with pytest.raises(ValueError, match="finite"):
+            compute_bounds(d, CostModel.reservation_only())
+
+
+class TestBoundIsValid:
+    def test_a2_bounds_a_witness_sequence(self, unbounded_distribution, any_cost_model):
+        """The Theorem 2 witness t_i = a + i has expected cost <= A_2."""
+        d = unbounded_distribution
+        bounds = compute_bounds(d, any_cost_model)
+        seq = ReservationSequence([d.lower + 1.0], extend=constant_extender(1.0))
+        cost = expected_cost_series(seq, d, any_cost_model)
+        assert cost <= bounds.a2 + 1e-6
+
+    def test_a1_exceeds_mean(self, unbounded_distribution, any_cost_model):
+        """A_1 >= E[X] + 1 by construction."""
+        d = unbounded_distribution
+        assert compute_bounds(d, any_cost_model).a1 >= d.mean() + 1.0
+
+
+class TestSearchInterval:
+    def test_bounded_support_uses_support(self, bounded_distribution):
+        lo, hi = t1_search_interval(bounded_distribution, CostModel.reservation_only())
+        assert (lo, hi) == bounded_distribution.support()
+
+    def test_unbounded_uses_a1(self, unbounded_distribution):
+        cm = CostModel.reservation_only()
+        lo, hi = t1_search_interval(unbounded_distribution, cm)
+        assert lo == unbounded_distribution.lower
+        assert hi == pytest.approx(compute_bounds(unbounded_distribution, cm).a1)
+        assert math.isfinite(hi)

@@ -1,0 +1,152 @@
+"""Tests for the Appendix C convex-cost extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    AffineReservationCost,
+    CostModel,
+    Exponential,
+    LogNormal,
+    QuadraticReservationCost,
+    Uniform,
+    expected_cost_convex,
+    expected_cost_series,
+    generate_convex_sequence,
+    generate_optimal_sequence,
+)
+from repro.core.convex import brute_force_convex_t1
+from repro.core.sequence import SequenceError
+
+
+class TestCostShapes:
+    def test_affine_values(self):
+        g = AffineReservationCost(alpha=2.0, gamma=0.5)
+        assert g.g(3.0) == pytest.approx(6.5)
+        assert g.g_prime(10.0) == 2.0
+        assert g.g_inverse(g.g(7.0)) == pytest.approx(7.0)
+
+    def test_quadratic_values(self):
+        g = QuadraticReservationCost(a2=2.0, a1=1.0, a0=0.5)
+        assert g.g(2.0) == pytest.approx(8 + 2 + 0.5)
+        assert g.g_prime(2.0) == pytest.approx(9.0)
+        assert g.g_inverse(g.g(3.0)) == pytest.approx(3.0)
+
+    def test_quadratic_inverse_below_min_raises(self):
+        g = QuadraticReservationCost(a2=1.0, a1=2.0, a0=5.0)
+        with pytest.raises(ValueError, match="below the minimum"):
+            g.g_inverse(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"a2": 0.0}, {"a2": 1.0, "a1": -1.0}, {"a2": 1.0, "a0": -1.0}]
+    )
+    def test_quadratic_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QuadraticReservationCost(**kwargs)
+
+    def test_affine_validation(self):
+        with pytest.raises(ValueError):
+            AffineReservationCost(alpha=0.0)
+        with pytest.raises(ValueError):
+            AffineReservationCost(alpha=1.0, gamma=-1.0)
+
+
+class TestAffineConsistency:
+    """With G(x) = alpha x + gamma, Eq. (37) must reduce to Eq. (11)."""
+
+    @pytest.mark.parametrize("beta", [0.0, 1.0])
+    def test_sequences_coincide(self, beta):
+        d = LogNormal(3.0, 0.5)
+        alpha, gamma = 1.5, 0.25
+        cm = CostModel(alpha=alpha, beta=beta, gamma=gamma)
+        g = AffineReservationCost(alpha=alpha, gamma=gamma)
+        t1 = 40.0  # feasible for both beta values
+        eq11 = generate_optimal_sequence(t1, d, cm)
+        eq37 = generate_convex_sequence(t1, d, g, beta=beta)
+        assert len(eq11) == len(eq37)
+        np.testing.assert_allclose(eq11, eq37, rtol=1e-10)
+
+    def test_expected_costs_coincide(self):
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel(alpha=1.5, beta=0.5, gamma=0.25)
+        g = AffineReservationCost(alpha=1.5, gamma=0.25)
+        seq = generate_convex_sequence(40.0, d, g, beta=0.5)
+        assert expected_cost_convex(seq, d, g, beta=0.5) == pytest.approx(
+            expected_cost_series(seq, d, cm), rel=1e-9
+        )
+
+
+class TestConvexSequences:
+    def test_increasing_and_covering(self):
+        d = Exponential(1.0)
+        g = QuadraticReservationCost(a2=0.5, a1=1.0)
+        seq = generate_convex_sequence(1.0, d, g)
+        assert all(b > a for a, b in zip(seq, seq[1:]))
+        assert float(d.sf(seq[-1])) < 1e-10
+
+    def test_bounded_support_ends_at_b(self):
+        d = Uniform(10.0, 20.0)
+        g = QuadraticReservationCost(a2=0.1, a1=1.0)
+        seq = generate_convex_sequence(25.0, d, g)
+        assert seq == [20.0]
+
+    def test_vanishing_density_raises(self):
+        from repro import Pareto
+
+        d = Pareto(1.5, 3.0)
+        g = QuadraticReservationCost(a2=0.5, a1=1.0)
+        # t1 below the Pareto scale: f(t1) = 0 and Eq. (37) is undefined.
+        with pytest.raises(SequenceError, match="density vanished"):
+            generate_convex_sequence(1.0, d, g)
+
+    def test_bad_inputs(self):
+        d = Exponential(1.0)
+        g = QuadraticReservationCost(a2=1.0)
+        with pytest.raises(SequenceError):
+            generate_convex_sequence(0.0, d, g)
+        with pytest.raises(ValueError):
+            generate_convex_sequence(1.0, d, g, beta=-1.0)
+
+
+class TestExpectedCostConvex:
+    def test_uncovered_tail_raises(self):
+        d = Exponential(1.0)
+        g = QuadraticReservationCost(a2=1.0, a1=1.0)
+        with pytest.raises(SequenceError, match="tail not covered"):
+            expected_cost_convex([1.0, 2.0], d, g)
+
+    def test_uniform_singleton_value(self):
+        d = Uniform(10.0, 20.0)
+        g = QuadraticReservationCost(a2=1.0, a1=0.0)
+        # Single reservation at b: cost = G(b) (beta = 0).
+        assert expected_cost_convex([20.0], d, g) == pytest.approx(400.0)
+
+
+class TestBruteForceConvex:
+    def test_uniform_optimum_is_b(self):
+        """Theorem 4 extends to convex costs: singleton (b) is optimal."""
+        d = Uniform(10.0, 20.0)
+        g = QuadraticReservationCost(a2=0.2, a1=1.0)
+        t1, cost, seq = brute_force_convex_t1(d, g, n_grid=200)
+        assert t1 == pytest.approx(20.0)
+        assert seq == [20.0]
+
+    def test_quadratic_shrinks_first_reservation(self):
+        """Stronger convexity punishes over-reservation: t1 decreases in a2."""
+        d = Exponential(1.0)
+        t1_soft, _, _ = brute_force_convex_t1(
+            d, QuadraticReservationCost(a2=0.01, a1=1.0), n_grid=400
+        )
+        t1_hard, _, _ = brute_force_convex_t1(
+            d, QuadraticReservationCost(a2=2.0, a1=1.0), n_grid=400
+        )
+        assert t1_hard < t1_soft
+
+    def test_cost_finite(self):
+        d = Exponential(1.0)
+        _, cost, _ = brute_force_convex_t1(
+            d, QuadraticReservationCost(a2=0.5, a1=1.0), n_grid=300
+        )
+        assert math.isfinite(cost) and cost > 0

@@ -1,0 +1,100 @@
+"""Tests for the affine cost model (Eq. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, Exponential
+
+
+class TestConstruction:
+    def test_defaults(self):
+        cm = CostModel()
+        assert (cm.alpha, cm.beta, cm.gamma) == (1.0, 0.0, 0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": -1.0},
+            {"alpha": 1.0, "beta": -0.1},
+            {"alpha": 1.0, "gamma": -0.1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            CostModel(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().alpha = 2.0  # type: ignore[misc]
+
+    def test_presets(self):
+        ro = CostModel.reservation_only()
+        assert ro.is_reservation_only
+        hpc = CostModel.neurohpc()
+        assert (hpc.alpha, hpc.beta, hpc.gamma) == (0.95, 1.0, 1.05)
+        assert not hpc.is_reservation_only
+
+
+class TestReservationCost:
+    def test_successful_reservation(self):
+        cm = CostModel(alpha=2.0, beta=1.0, gamma=0.5)
+        # t <= t_r: alpha*t_r + beta*t + gamma
+        assert float(cm.reservation_cost(10.0, 4.0)) == pytest.approx(
+            2.0 * 10 + 1.0 * 4 + 0.5
+        )
+
+    def test_failed_reservation_pays_full(self):
+        cm = CostModel(alpha=2.0, beta=1.0, gamma=0.5)
+        # t > t_r: beta applies to the whole reservation
+        assert float(cm.reservation_cost(10.0, 15.0)) == pytest.approx(
+            2.0 * 10 + 1.0 * 10 + 0.5
+        )
+        assert float(cm.failed_reservation_cost(10.0)) == pytest.approx(
+            (2.0 + 1.0) * 10 + 0.5
+        )
+
+    def test_vectorized(self):
+        cm = CostModel(alpha=1.0, beta=1.0)
+        out = cm.reservation_cost(np.array([1.0, 2.0]), np.array([0.5, 3.0]))
+        np.testing.assert_allclose(out, [1.5, 4.0])
+
+
+class TestSequenceCost:
+    def test_eq2_first_reservation(self):
+        cm = CostModel(alpha=1.0, beta=2.0, gamma=3.0)
+        assert cm.sequence_cost([5.0, 10.0], 4.0) == pytest.approx(5 + 8 + 3)
+
+    def test_eq2_second_reservation(self):
+        cm = CostModel(alpha=1.0, beta=2.0, gamma=3.0)
+        # first fails: (1+2)*5 + 3 = 18; second: 10 + 2*7 + 3 = 27
+        assert cm.sequence_cost([5.0, 10.0], 7.0) == pytest.approx(18 + 27)
+
+    def test_boundary_exactly_at_reservation(self):
+        cm = CostModel.reservation_only()
+        assert cm.sequence_cost([5.0, 10.0], 5.0) == pytest.approx(5.0)
+
+    def test_uncovered_raises(self):
+        cm = CostModel.reservation_only()
+        with pytest.raises(ValueError, match="does not cover"):
+            cm.sequence_cost([5.0], 6.0)
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            CostModel().sequence_cost([5.0], -1.0)
+
+    def test_reservation_only_sums_requests(self):
+        cm = CostModel.reservation_only()
+        assert cm.sequence_cost([1.0, 2.0, 4.0], 3.0) == pytest.approx(1 + 2 + 4)
+
+
+class TestOmniscient:
+    def test_formula(self):
+        cm = CostModel(alpha=0.95, beta=1.0, gamma=1.05)
+        d = Exponential(2.0)
+        assert cm.omniscient_expected_cost(d) == pytest.approx(
+            (0.95 + 1.0) * 0.5 + 1.05
+        )
+
+    def test_describe(self):
+        assert "alpha=1" in CostModel().describe()

@@ -1,0 +1,106 @@
+"""Tests for the two expected-cost evaluators (Theorem 1 vs Eq. 3)."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostModel,
+    Exponential,
+    ReservationSequence,
+    SequenceError,
+    Uniform,
+    expected_cost_direct,
+    expected_cost_series,
+    normalized_cost,
+)
+from repro.core.sequence import constant_extender
+
+
+class TestKnownValues:
+    def test_uniform_single_reservation(self):
+        """E((b)) = beta E[X] + alpha b + gamma for Uniform(a,b)."""
+        d = Uniform(10.0, 20.0)
+        cm = CostModel(alpha=1.0, beta=2.0, gamma=0.5)
+        got = expected_cost_series([20.0], d, cm)
+        assert got == pytest.approx(2.0 * 15.0 + 20.0 + 0.5)
+
+    def test_uniform_two_reservations_paper_example(self):
+        """The worked example of Section 2.3: S = ((a+b)/2, b)."""
+        a, b = 10.0, 20.0
+        d = Uniform(a, b)
+        cm = CostModel(alpha=1.0, beta=1.0, gamma=0.0)
+        mid = (a + b) / 2.0
+        # First term: jobs in [a, mid]; second: jobs in (mid, b].
+        term1 = 0.5 * (mid + (a + mid) / 2.0)
+        term2 = 0.5 * ((mid + mid) + (b + (mid + b) / 2.0))
+        expected = term1 + term2
+        assert expected_cost_series([mid, b], d, cm) == pytest.approx(expected)
+
+    def test_exponential_arithmetic_sequence(self):
+        """Closed form for t_i = i/lambda, ReservationOnly:
+        E = (1/lambda) sum_{i>=0} (i+1) e^{-i} = (1/lambda) / (1-1/e)^2."""
+        lam = 1.0
+        d = Exponential(lam)
+        cm = CostModel.reservation_only()
+        seq = ReservationSequence([1.0 / lam], extend=constant_extender(1.0 / lam))
+        got = expected_cost_series(seq, d, cm)
+        q = math.exp(-1.0)
+        assert got == pytest.approx(1.0 / (1.0 - q) ** 2, rel=1e-9)
+
+
+class TestSeriesVsDirect:
+    @pytest.mark.parametrize("seq", [[25.0, 40.0, 80.0], [30.0, 60.0, 90.0, 200.0]])
+    def test_lognormal_agreement(self, seq, any_cost_model, all_distributions):
+        d = all_distributions["lognormal"]
+        s1 = expected_cost_series(
+            ReservationSequence(seq, extend=lambda v: float(v[-1]) * 2.0),
+            d,
+            any_cost_model,
+        )
+        s2 = expected_cost_direct(
+            ReservationSequence(seq, extend=lambda v: float(v[-1]) * 2.0),
+            d,
+            any_cost_model,
+        )
+        assert s1 == pytest.approx(s2, rel=1e-6)
+
+    def test_bounded_agreement(self, bounded_distribution, any_cost_model):
+        d = bounded_distribution
+        lo, hi = d.support()
+        seq = [lo + 0.3 * (hi - lo), lo + 0.7 * (hi - lo), hi]
+        s1 = expected_cost_series(seq, d, any_cost_model)
+        s2 = expected_cost_direct(seq, d, any_cost_model)
+        assert s1 == pytest.approx(s2, rel=1e-6)
+
+
+class TestCoverage:
+    def test_finite_noncovering_raises(self):
+        d = Exponential(1.0)
+        with pytest.raises(SequenceError, match="does not cover"):
+            expected_cost_series([1.0, 2.0], d, CostModel.reservation_only())
+
+    def test_direct_finite_noncovering_raises(self):
+        d = Exponential(1.0)
+        with pytest.raises(SequenceError, match="residual mass"):
+            expected_cost_direct([1.0, 2.0], d, CostModel.reservation_only())
+
+    def test_bounded_sequence_at_bound_ok(self):
+        d = Uniform(10.0, 20.0)
+        got = expected_cost_series([20.0], d, CostModel.reservation_only())
+        assert got == pytest.approx(20.0)
+
+
+class TestNormalizedCost:
+    def test_at_least_one(self, any_distribution, any_cost_model):
+        """Any single-reservation-at-Q(1-tiny) sequence has ratio >= 1."""
+        hi = any_distribution.upper
+        t = hi if math.isfinite(hi) else float(any_distribution.quantile(1 - 1e-13))
+        seq = ReservationSequence([t], extend=lambda v: float(v[-1]) * 2.0)
+        assert normalized_cost(seq, any_distribution, any_cost_model) >= 1.0 - 1e-9
+
+    def test_omniscient_normalization(self):
+        d = Uniform(10.0, 20.0)
+        cm = CostModel.reservation_only()
+        # E((b)) / E^o = 20 / 15 = 4/3: the paper's 1.33 for Uniform.
+        assert normalized_cost([20.0], d, cm) == pytest.approx(4.0 / 3.0)

@@ -1,0 +1,120 @@
+"""Tests for the closed-form optima (Theorem 4, Proposition 2)."""
+
+import math
+
+import pytest
+
+from repro import (
+    CostModel,
+    Exponential,
+    PAPER_EXPONENTIAL_S1,
+    Uniform,
+    expected_cost_series,
+    exponential_optimal_sequence,
+    exponential_s1,
+    uniform_optimal_sequence,
+)
+from repro.core.optimal import (
+    expected_cost_exponential_optimal,
+    exponential_reduced_cost,
+    exponential_reduced_sequence,
+)
+
+
+class TestUniformOptimal:
+    def test_single_reservation_at_b(self):
+        seq = uniform_optimal_sequence(Uniform(10.0, 20.0))
+        assert list(seq.values) == [20.0]
+
+    def test_theorem4_beats_any_two_step(self, any_cost_model):
+        """(b) is cheaper than (t1, b) for several interior t1."""
+        d = Uniform(10.0, 20.0)
+        best = expected_cost_series([20.0], d, any_cost_model)
+        for t1 in [12.0, 15.0, 18.0, 19.9]:
+            alt = expected_cost_series([t1, 20.0], d, any_cost_model)
+            assert best < alt
+
+    def test_theorem4_beats_three_step(self, any_cost_model):
+        d = Uniform(10.0, 20.0)
+        best = expected_cost_series([20.0], d, any_cost_model)
+        assert best < expected_cost_series([12.0, 16.0, 20.0], d, any_cost_model)
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(ValueError, match="bounded"):
+            uniform_optimal_sequence(Exponential(1.0))
+
+
+class TestReducedSequence:
+    def test_recurrence_structure(self):
+        s = exponential_reduced_sequence(0.9)
+        assert s[1] == pytest.approx(math.exp(0.9))
+        assert s[2] == pytest.approx(math.exp(s[1] - s[0]))
+
+    def test_infeasible_s1_raises(self):
+        with pytest.raises(ValueError, match="stopped increasing"):
+            exponential_reduced_sequence(0.3)
+
+    def test_nonpositive_s1_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            exponential_reduced_sequence(0.0)
+
+    def test_cost_formula(self):
+        s1 = 1.0
+        seq = exponential_reduced_sequence(s1)
+        expected = s1 + 1.0 + sum(math.exp(-s) for s in seq)
+        assert exponential_reduced_cost(s1) == pytest.approx(expected)
+
+
+class TestS1:
+    def test_near_paper_value(self):
+        """Our s1 sits within 1% of the paper's 0.74219 (the landscape is a
+        feasibility boundary; see EXPERIMENTS.md for the precision analysis)."""
+        s1 = exponential_s1()
+        assert s1 == pytest.approx(PAPER_EXPONENTIAL_S1, rel=0.01)
+
+    def test_is_feasibility_boundary(self):
+        s1 = exponential_s1()
+        exponential_reduced_sequence(s1 + 1e-4)  # feasible above
+        with pytest.raises(ValueError):
+            exponential_reduced_sequence(s1 - 1e-2)  # infeasible below
+
+    def test_cost_at_s1_is_minimal_locally(self):
+        s1 = exponential_s1()
+        c0 = exponential_reduced_cost(s1)
+        assert c0 < exponential_reduced_cost(s1 + 0.05)
+        assert c0 < exponential_reduced_cost(s1 + 0.2)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("lam", [0.5, 1.0, 3.0])
+    def test_proposition2_scaling(self, lam):
+        """E(S_lambda) = E_1 / lambda."""
+        d = Exponential(lam)
+        seq = exponential_optimal_sequence(lam)
+        cost = expected_cost_series(seq, d, CostModel.reservation_only())
+        assert cost == pytest.approx(expected_cost_exponential_optimal(lam), rel=1e-6)
+        assert cost == pytest.approx(
+            expected_cost_exponential_optimal(1.0) / lam, rel=1e-6
+        )
+
+    def test_sequence_values_scale(self):
+        a = exponential_optimal_sequence(1.0).values
+        b = exponential_optimal_sequence(2.0).values
+        for x, y in zip(a[:5], b[:5]):
+            assert x == pytest.approx(2.0 * y)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            exponential_optimal_sequence(0.0)
+        with pytest.raises(ValueError):
+            expected_cost_exponential_optimal(-1.0)
+
+    def test_normalized_cost_lambda_invariant(self):
+        """E(S)/E^o is the same for every rate (scale-free problem)."""
+        cm = CostModel.reservation_only()
+        ratios = []
+        for lam in [0.5, 2.0]:
+            d = Exponential(lam)
+            cost = expected_cost_series(exponential_optimal_sequence(lam), d, cm)
+            ratios.append(cost / cm.omniscient_expected_cost(d))
+        assert ratios[0] == pytest.approx(ratios[1], rel=1e-9)

@@ -1,0 +1,132 @@
+"""Tests for the Eq. (11) optimality recurrence."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    Exponential,
+    LogNormal,
+    RecurrenceError,
+    Uniform,
+    generate_optimal_sequence,
+    next_reservation,
+    optimal_sequence_from_t1,
+)
+
+
+class TestNextReservation:
+    def test_exponential_reservation_only(self):
+        """For Exp(lambda), beta=gamma=0: t_i = e^{lambda(t_{i-1}-t_{i-2})}/lambda."""
+        lam = 1.0
+        d = Exponential(lam)
+        cm = CostModel.reservation_only()
+        got = next_reservation(0.5, 1.2, d, cm)
+        assert got == pytest.approx(math.exp(1.2 - 0.5))
+
+    def test_beta_gamma_terms(self):
+        """Eq. (11) with all three cost parameters."""
+        d = Exponential(1.0)
+        cm = CostModel(alpha=2.0, beta=1.0, gamma=0.5)
+        t_prev2, t_prev1 = 0.3, 1.0
+        f = float(d.pdf(t_prev1))
+        expected = (
+            float(d.sf(t_prev2)) / f
+            + (1.0 / 2.0) * (float(d.sf(t_prev1)) / f - t_prev1)
+            - 0.5 / 2.0
+        )
+        assert next_reservation(t_prev2, t_prev1, d, cm) == pytest.approx(expected)
+
+    def test_vanishing_density_raises(self):
+        d = Uniform(10.0, 20.0)
+        cm = CostModel.reservation_only()
+        with pytest.raises(RecurrenceError, match="density vanished"):
+            next_reservation(0.0, 5.0, d, cm)  # pdf(5) = 0 below support
+
+
+class TestGenerateOptimalSequence:
+    def test_strictly_increasing(self):
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel.reservation_only()
+        values = generate_optimal_sequence(30.0, d, cm)
+        assert np.all(np.diff(values) > 0)
+        assert values[0] == 30.0
+
+    def test_covers_tail(self):
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel.reservation_only()
+        values = generate_optimal_sequence(30.0, d, cm, tail_tol=1e-10)
+        assert float(d.sf(values[-1])) < 1e-10
+
+    def test_infeasible_t1_raises_with_index(self):
+        d = Exponential(1.0)
+        cm = CostModel.reservation_only()
+        with pytest.raises(RecurrenceError) as err:
+            generate_optimal_sequence(0.3, d, cm)
+        assert err.value.index > 0
+        assert len(err.value.values) >= 1
+
+    def test_t1_beyond_bound_is_singleton(self):
+        d = Uniform(10.0, 20.0)
+        cm = CostModel.reservation_only()
+        assert generate_optimal_sequence(25.0, d, cm) == [20.0]
+
+    def test_t1_at_bound_is_singleton(self):
+        d = Uniform(10.0, 20.0)
+        cm = CostModel.reservation_only()
+        assert generate_optimal_sequence(20.0, d, cm) == [20.0]
+
+    def test_nonpositive_t1_raises(self):
+        d = Exponential(1.0)
+        with pytest.raises(RecurrenceError, match="positive"):
+            generate_optimal_sequence(0.0, d, CostModel.reservation_only())
+
+    def test_bounded_sequence_ends_at_bound(self):
+        d = Uniform(10.0, 20.0)
+        cm = CostModel.reservation_only()
+        # From t1 < b the uniform recurrence gives t2 = b - a = 10 <= t1:
+        # every interior t1 is infeasible (consistent with Theorem 4).
+        with pytest.raises(RecurrenceError):
+            generate_optimal_sequence(15.0, d, cm)
+
+
+class TestLazySequence:
+    def test_lazy_starts_with_t1_only(self):
+        d = Exponential(1.0)
+        s = optimal_sequence_from_t1(0.74, d, CostModel.reservation_only())
+        assert len(s) == 1
+        assert s.is_extensible
+
+    def test_lazy_extends_with_recurrence(self):
+        d = Exponential(1.0)
+        s = optimal_sequence_from_t1(0.8, d, CostModel.reservation_only())
+        s.ensure_covers(3.0)
+        # Values follow t_{i+1} = e^{t_i - t_{i-1}}.
+        v = s.values
+        assert v[1] == pytest.approx(math.exp(v[0]))
+        assert v[2] == pytest.approx(math.exp(v[1] - v[0]))
+
+    def test_eager_materializes_tail(self):
+        d = LogNormal(3.0, 0.5)
+        s = optimal_sequence_from_t1(
+            30.0, d, CostModel.reservation_only(), eager=True
+        )
+        assert len(s) > 3
+        assert float(d.sf(s.last)) < 1e-10
+
+    def test_eager_infeasible_raises_immediately(self):
+        d = Exponential(1.0)
+        with pytest.raises(RecurrenceError):
+            optimal_sequence_from_t1(
+                0.3, d, CostModel.reservation_only(), eager=True
+            )
+
+    def test_lazy_near_separatrix_accepted_for_moderate_coverage(self):
+        """The paper's t1 = 0.74219 for Exp(1): collapses deep in the tail,
+        but covers any Monte-Carlo-sized range fine (Section 3.5 nuance)."""
+        d = Exponential(1.0)
+        s = optimal_sequence_from_t1(0.74219, d, CostModel.reservation_only())
+        s.ensure_covers(6.9)  # ~ Q(0.999)
+        assert s.last >= 6.9

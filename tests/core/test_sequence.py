@@ -1,0 +1,117 @@
+"""Tests for ReservationSequence."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.sequence import (
+    MAX_RESERVATIONS,
+    ReservationSequence,
+    SequenceError,
+    constant_extender,
+    geometric_extender,
+)
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = ReservationSequence([1.0, 2.0, 3.0], name="x")
+        assert len(s) == 3
+        assert s.first == 1.0
+        assert s.last == 3.0
+        assert s[1] == 2.0
+
+    @pytest.mark.parametrize(
+        "values,match",
+        [
+            ([], "at least one"),
+            ([1.0, 1.0], "strictly increasing"),
+            ([2.0, 1.0], "strictly increasing"),
+            ([0.0], "positive"),
+            ([-1.0], "positive"),
+            ([1.0, float("inf")], "non-finite"),
+            ([float("nan")], "non-finite"),
+        ],
+    )
+    def test_invalid(self, values, match):
+        with pytest.raises(SequenceError, match=match):
+            ReservationSequence(values)
+
+    def test_values_read_only(self):
+        s = ReservationSequence([1.0, 2.0])
+        with pytest.raises(ValueError):
+            s.values[0] = 9.0
+
+
+class TestExtension:
+    def test_constant_extender(self):
+        s = ReservationSequence([1.0], extend=constant_extender(2.0))
+        assert s.extend_once() == pytest.approx(3.0)
+        assert len(s) == 2
+
+    def test_geometric_extender(self):
+        s = ReservationSequence([1.0], extend=geometric_extender(2.0))
+        s.extend_once()
+        s.extend_once()
+        np.testing.assert_allclose(s.values, [1.0, 2.0, 4.0])
+
+    def test_ensure_covers(self):
+        s = ReservationSequence([1.0], extend=constant_extender(1.0))
+        s.ensure_covers(5.5)
+        assert s.last >= 5.5
+        assert len(s) == 6
+
+    def test_ensure_covers_noop_when_covered(self):
+        s = ReservationSequence([10.0])
+        s.ensure_covers(5.0)
+        assert len(s) == 1
+
+    def test_finite_sequence_cannot_extend(self):
+        s = ReservationSequence([1.0])
+        with pytest.raises(SequenceError, match="no extender"):
+            s.ensure_covers(2.0)
+
+    def test_nonincreasing_extender_rejected(self):
+        s = ReservationSequence([2.0], extend=lambda v: 1.0)
+        with pytest.raises(SequenceError, match="non-increasing"):
+            s.extend_once()
+
+    def test_is_extensible_flag(self):
+        assert not ReservationSequence([1.0]).is_extensible
+        assert ReservationSequence([1.0], extend=constant_extender(1.0)).is_extensible
+
+    def test_extender_param_validation(self):
+        with pytest.raises(ValueError):
+            constant_extender(0.0)
+        with pytest.raises(ValueError):
+            geometric_extender(1.0)
+
+
+class TestCosting:
+    def test_cost_of_matches_cost_model(self):
+        cm = CostModel(alpha=1.0, beta=1.0, gamma=0.5)
+        s = ReservationSequence([2.0, 5.0])
+        assert s.cost_of(3.0, cm) == pytest.approx(cm.sequence_cost([2.0, 5.0], 3.0))
+
+    def test_cost_of_extends_as_needed(self):
+        cm = CostModel.reservation_only()
+        s = ReservationSequence([1.0], extend=geometric_extender(2.0))
+        cost = s.cost_of(6.0, cm)
+        assert cost == pytest.approx(1 + 2 + 4 + 8)
+
+    def test_index_covering(self):
+        s = ReservationSequence([1.0, 3.0, 9.0])
+        assert s.index_covering(0.5) == 0
+        assert s.index_covering(1.0) == 0
+        assert s.index_covering(2.0) == 1
+        assert s.index_covering(9.0) == 2
+
+
+class TestSafetyCap:
+    def test_stalled_growth_detected(self):
+        # Growth of 1e-9 per step would take ~1e9 extensions to reach 2.0:
+        # the MAX_RESERVATIONS cap must trip with a clear message.
+        tiny = 1e-6
+        s = ReservationSequence([1.0], extend=lambda v: float(v[-1]) + tiny)
+        with pytest.raises(SequenceError, match="growing too slowly"):
+            s.ensure_covers(1.0 + tiny * (MAX_RESERVATIONS + 10))

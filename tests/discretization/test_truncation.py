@@ -1,0 +1,47 @@
+"""Tests for tail truncation (Section 4.2.1)."""
+
+import math
+
+import pytest
+
+from repro import Exponential, LogNormal, Uniform
+from repro.discretization import DEFAULT_EPSILON, truncation_bound
+
+
+class TestTruncationBound:
+    def test_bounded_support_unchanged(self, bounded_distribution):
+        t = truncation_bound(bounded_distribution, 1e-7)
+        lo, hi = bounded_distribution.support()
+        assert (t.lower, t.upper) == (lo, hi)
+        assert t.epsilon == 0.0
+
+    def test_unbounded_cut_at_quantile(self, unbounded_distribution):
+        eps = 1e-7
+        t = truncation_bound(unbounded_distribution, eps)
+        assert t.upper == pytest.approx(
+            float(unbounded_distribution.quantile(1.0 - eps))
+        )
+        assert math.isfinite(t.upper)
+        assert t.epsilon == eps
+
+    def test_exponential_closed_form(self):
+        t = truncation_bound(Exponential(1.0), 1e-7)
+        assert t.upper == pytest.approx(-math.log(1e-7), rel=1e-6)
+
+    def test_smaller_epsilon_wider_interval(self):
+        d = LogNormal(3.0, 0.5)
+        wide = truncation_bound(d, 1e-9)
+        narrow = truncation_bound(d, 1e-3)
+        assert wide.upper > narrow.upper
+
+    def test_width(self):
+        t = truncation_bound(Uniform(10.0, 20.0))
+        assert t.width == pytest.approx(10.0)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_epsilon(self, eps):
+        with pytest.raises(ValueError, match="epsilon"):
+            truncation_bound(Exponential(1.0), eps)
+
+    def test_default_epsilon_is_paper_value(self):
+        assert DEFAULT_EPSILON == 1e-7

@@ -1,0 +1,119 @@
+"""Tests for DiscreteDistribution (the DP substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributions import DiscreteDistribution
+
+
+def simple():
+    return DiscreteDistribution([1.0, 2.0, 4.0], [0.2, 0.3, 0.5])
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = simple()
+        assert len(d) == 3
+        assert d.total_mass == pytest.approx(1.0)
+
+    def test_truncated_mass_kept(self):
+        d = DiscreteDistribution([1.0, 2.0], [0.5, 0.4])
+        assert d.total_mass == pytest.approx(0.9)
+        assert d.tail_deficit == pytest.approx(0.1)
+
+    @pytest.mark.parametrize(
+        "values,masses,match",
+        [
+            ([], [], "at least one"),
+            ([1.0, 2.0], [0.5], "length mismatch"),
+            ([2.0, 1.0], [0.5, 0.5], "strictly increasing"),
+            ([1.0, 1.0], [0.5, 0.5], "strictly increasing"),
+            ([1.0], [-0.1], "nonnegative"),
+            ([1.0], [0.0], "positive"),
+            ([1.0, 2.0], [0.8, 0.8], "exceeds 1"),
+        ],
+    )
+    def test_invalid(self, values, masses, match):
+        with pytest.raises(ValueError, match=match):
+            DiscreteDistribution(values, masses)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            DiscreteDistribution(np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestMoments:
+    def test_mean(self):
+        assert simple().mean() == pytest.approx(0.2 * 1 + 0.3 * 2 + 0.5 * 4)
+
+    def test_var(self):
+        d = simple()
+        m = d.mean()
+        second = 0.2 * 1 + 0.3 * 4 + 0.5 * 16
+        assert d.var() == pytest.approx(second - m * m)
+
+    def test_normalized_mean_invariant(self):
+        d = DiscreteDistribution([1.0, 3.0], [0.3, 0.3])
+        assert d.mean() == pytest.approx(d.normalized().mean())
+        assert d.normalized().total_mass == pytest.approx(1.0)
+
+
+class TestCdfSf:
+    def test_cdf_steps(self):
+        d = simple()
+        assert float(d.cdf(0.5)) == 0.0
+        assert float(d.cdf(1.0)) == pytest.approx(0.2)
+        assert float(d.cdf(3.0)) == pytest.approx(0.5)
+        assert float(d.cdf(4.0)) == pytest.approx(1.0)
+
+    def test_sf_at_support_points(self):
+        d = simple()
+        assert float(d.sf(1.0)) == pytest.approx(1.0)  # P(X >= 1)
+        assert float(d.sf(2.0)) == pytest.approx(0.8)
+        assert float(d.sf(4.0)) == pytest.approx(0.5)
+        assert float(d.sf(4.1)) == pytest.approx(0.0)
+
+    def test_sf_includes_tail_deficit(self):
+        d = DiscreteDistribution([1.0, 2.0], [0.5, 0.4])
+        assert float(d.sf(3.0)) == pytest.approx(0.1)
+
+    def test_vectorized(self):
+        d = simple()
+        out = d.cdf(np.array([0.0, 2.5, 10.0]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+
+class TestSampling:
+    def test_samples_in_support(self):
+        d = simple()
+        x = d.rvs(200, seed=1)
+        assert set(np.unique(x)) <= {1.0, 2.0, 4.0}
+
+    def test_frequencies_converge(self):
+        d = simple()
+        x = d.rvs(50_000, seed=2)
+        assert float(np.mean(x == 4.0)) == pytest.approx(0.5, abs=0.01)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            simple().rvs(0)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=100.0),
+        min_size=1,
+        max_size=20,
+        unique=True,
+    )
+)
+def test_property_cdf_reaches_total_mass(values):
+    values = sorted(values)
+    if len(values) > 1 and min(np.diff(values)) <= 1e-9:
+        return  # near-duplicate support points are rejected by design
+    masses = np.full(len(values), 1.0 / len(values))
+    d = DiscreteDistribution(values, masses)
+    assert float(d.cdf(values[-1])) == pytest.approx(d.total_mass)
+    assert float(d.sf(values[0])) == pytest.approx(1.0)

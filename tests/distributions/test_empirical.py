@@ -1,0 +1,107 @@
+"""Tests for the empirical (ECDF + KDE) distribution."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, LogNormal
+from repro.distributions.empirical import EmpiricalDistribution
+
+
+@pytest.fixture(scope="module")
+def lognormal_trace():
+    return LogNormal(3.0, 0.5).rvs(3000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def emp(lognormal_trace):
+    return EmpiricalDistribution(lognormal_trace)
+
+
+class TestConstruction:
+    def test_support(self, emp, lognormal_trace):
+        lo, hi = emp.support()
+        assert lo == pytest.approx(lognormal_trace.min())
+        assert hi == pytest.approx(lognormal_trace.max() * 1.05)
+
+    @pytest.mark.parametrize(
+        "samples,match",
+        [
+            (np.ones(5), "at least 10"),
+            (np.ones((5, 5)), "at least 10"),
+            (np.concatenate([[-1.0], np.arange(1.0, 20.0)]), "nonnegative"),
+            (np.ones(20), "degenerate"),
+        ],
+    )
+    def test_validation(self, samples, match):
+        with pytest.raises(ValueError, match=match):
+            EmpiricalDistribution(samples)
+
+    def test_negative_margin(self):
+        with pytest.raises(ValueError, match="margin"):
+            EmpiricalDistribution(np.arange(1.0, 30.0), tail_margin=-0.1)
+
+    def test_duplicate_samples_handled(self):
+        samples = np.concatenate([np.full(10, 2.0), np.arange(3.0, 20.0)])
+        d = EmpiricalDistribution(samples)
+        assert float(d.cdf(2.0)) > 0.2  # mass accumulated on the tie
+
+
+class TestAgreementWithTruth:
+    def test_cdf_close_to_true(self, emp):
+        true = LogNormal(3.0, 0.5)
+        for q in [0.1, 0.5, 0.9]:
+            t = float(true.quantile(q))
+            assert float(emp.cdf(t)) == pytest.approx(q, abs=0.03)
+
+    def test_quantile_inverts_cdf(self, emp):
+        for q in [0.05, 0.5, 0.95]:
+            assert float(emp.cdf(emp.quantile(q))) == pytest.approx(q, abs=1e-9)
+
+    def test_moments_from_samples(self, emp, lognormal_trace):
+        assert emp.mean() == pytest.approx(float(lognormal_trace.mean()))
+        assert emp.var() == pytest.approx(float(lognormal_trace.var()))
+        assert emp.second_moment() == pytest.approx(
+            float((lognormal_trace**2).mean())
+        )
+
+    def test_pdf_positive_inside(self, emp):
+        t = emp.median()
+        assert float(emp.pdf(t)) > 0.0
+        assert float(emp.pdf(emp.lower * 0.5)) == 0.0
+        assert float(emp.pdf(emp.upper * 1.1)) == 0.0
+
+    def test_conditional_expectation_matches_exceedances(self, emp, lognormal_trace):
+        tau = float(np.quantile(lognormal_trace, 0.7))
+        above = lognormal_trace[lognormal_trace > tau]
+        got = emp.conditional_expectation(tau)
+        # The top interpolation cell adds a small correction; stay close.
+        assert got == pytest.approx(float(above.mean()), rel=0.05)
+        assert got > tau
+
+    def test_conditional_expectation_top_cell(self, emp, lognormal_trace):
+        tau = float(lognormal_trace.max()) * 1.01  # inside the synthetic cell
+        got = emp.conditional_expectation(tau)
+        assert tau < got < emp.upper
+
+    def test_sampling_reproduces_cdf(self, emp):
+        x = emp.rvs(20_000, seed=1)
+        assert float(np.mean(x <= emp.median())) == pytest.approx(0.5, abs=0.02)
+
+
+class TestStrategiesRun:
+    def test_dp_and_heuristics(self, emp):
+        from repro import EqualTimeDP, MeanByMean, MedianByMedian, evaluate_strategy
+
+        cm = CostModel.reservation_only()
+        for strategy in (EqualTimeDP(n=100), MeanByMean(), MedianByMedian()):
+            rec = evaluate_strategy(strategy, emp, cm, n_samples=500, seed=2)
+            assert rec.normalized_cost >= 1.0
+
+    def test_eq11_recurrence_works_via_kde(self, emp):
+        """The Eq. (11) recurrence needs a pdf — supplied by the KDE."""
+        from repro import BruteForce
+
+        cm = CostModel.reservation_only()
+        bf = BruteForce(m_grid=100, n_samples=300, seed=3)
+        scan = bf.scan(emp, cm)
+        assert scan.best_cost / cm.omniscient_expected_cost(emp) < 2.5

@@ -1,0 +1,78 @@
+"""Closed-form tests for Exponential (Table 5 row 1, Table 6 row 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributions import Exponential
+
+
+class TestConstruction:
+    def test_default_is_paper_instance(self):
+        assert Exponential().rate == 1.0
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_invalid_rate(self, rate):
+        with pytest.raises(ValueError, match="rate"):
+            Exponential(rate)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("lam", [0.25, 1.0, 4.0])
+    def test_moments(self, lam):
+        d = Exponential(lam)
+        assert d.mean() == pytest.approx(1.0 / lam)
+        assert d.var() == pytest.approx(1.0 / lam**2)
+        assert d.second_moment() == pytest.approx(2.0 / lam**2)
+
+    def test_pdf_at_zero(self):
+        assert float(Exponential(3.0).pdf(0.0)) == pytest.approx(3.0)
+
+    def test_cdf_formula(self):
+        d = Exponential(2.0)
+        assert float(d.cdf(1.0)) == pytest.approx(1.0 - math.exp(-2.0))
+
+    def test_sf_formula(self):
+        d = Exponential(0.5)
+        assert float(d.sf(4.0)) == pytest.approx(math.exp(-2.0))
+
+    def test_quantile_formula(self):
+        d = Exponential(1.0)
+        assert float(d.quantile(0.5)) == pytest.approx(math.log(2.0))
+
+    def test_negative_t(self):
+        d = Exponential(1.0)
+        assert float(d.pdf(-1.0)) == 0.0
+        assert float(d.cdf(-1.0)) == 0.0
+        assert float(d.sf(-1.0)) == 1.0
+
+
+class TestMemorylessness:
+    @pytest.mark.parametrize("lam", [0.5, 1.0, 2.0])
+    @pytest.mark.parametrize("tau", [0.1, 1.0, 10.0])
+    def test_conditional_expectation(self, lam, tau):
+        d = Exponential(lam)
+        assert d.conditional_expectation(tau) == pytest.approx(tau + 1.0 / lam)
+
+    def test_conditional_below_zero_is_mean(self):
+        d = Exponential(2.0)
+        assert d.conditional_expectation(-3.0) == pytest.approx(d.mean())
+
+    @given(st.floats(min_value=0.01, max_value=50.0), st.floats(min_value=0.0, max_value=20.0))
+    def test_memoryless_sf(self, lam, tau):
+        """P(X > tau + s) = P(X > tau) P(X > s)."""
+        d = Exponential(lam)
+        s = 0.7
+        left = float(d.sf(tau + s))
+        right = float(d.sf(tau)) * float(d.sf(s))
+        assert left == pytest.approx(right, rel=1e-9, abs=1e-300)
+
+
+class TestScaling:
+    def test_rate_scales_samples(self):
+        a = Exponential(1.0).rvs(1000, seed=0)
+        b = Exponential(2.0).rvs(1000, seed=0)
+        np.testing.assert_allclose(a, 2.0 * b)

@@ -1,0 +1,86 @@
+"""Tests for LogNormal fitting and KS distance (Fig. 1 pipeline)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import LogNormal, fit_lognormal, ks_distance
+
+
+class TestFitLognormal:
+    def test_recovers_parameters(self):
+        true = LogNormal(7.1128, 0.2039)
+        x = true.rvs(20_000, seed=0)
+        fit = fit_lognormal(x)
+        assert fit.mu == pytest.approx(7.1128, abs=0.01)
+        assert fit.sigma == pytest.approx(0.2039, abs=0.01)
+
+    def test_implied_moments(self):
+        x = LogNormal(1.0, 0.5).rvs(10_000, seed=1)
+        fit = fit_lognormal(x)
+        assert fit.mean == pytest.approx(math.exp(fit.mu + fit.sigma**2 / 2))
+        assert fit.std == pytest.approx(
+            fit.mean * math.sqrt(math.expm1(fit.sigma**2))
+        )
+
+    def test_distribution_roundtrip(self):
+        x = LogNormal(2.0, 0.3).rvs(5000, seed=2)
+        d = fit_lognormal(x).distribution()
+        assert isinstance(d, LogNormal)
+        assert d.mu == pytest.approx(2.0, abs=0.05)
+
+    def test_log_likelihood_prefers_truth(self):
+        """LL of the MLE exceeds LL of a perturbed model on the same data."""
+        x = LogNormal(1.0, 0.4).rvs(2000, seed=3)
+        fit = fit_lognormal(x)
+
+        def ll(mu, sigma):
+            logs = np.log(x)
+            n = x.size
+            return (
+                -0.5 * n * math.log(2 * math.pi)
+                - n * math.log(sigma)
+                - float(((logs - mu) ** 2).sum()) / (2 * sigma**2)
+                - float(logs.sum())
+            )
+
+        assert fit.log_likelihood == pytest.approx(ll(fit.mu, fit.sigma), rel=1e-9)
+        assert fit.log_likelihood > ll(fit.mu + 0.3, fit.sigma)
+
+    def test_n_samples_recorded(self):
+        x = LogNormal(0.0, 1.0).rvs(123, seed=4)
+        assert fit_lognormal(x).n_samples == 123
+
+    @pytest.mark.parametrize(
+        "samples,match",
+        [
+            (np.array([1.0]), "at least 2"),
+            (np.array([1.0, -2.0]), "positive"),
+            (np.array([5.0, 5.0]), "zero variance"),
+            (np.ones((2, 2)), "one-dimensional"),
+        ],
+    )
+    def test_invalid_input(self, samples, match):
+        with pytest.raises(ValueError, match=match):
+            fit_lognormal(samples)
+
+
+class TestKsDistance:
+    def test_same_distribution_small(self):
+        d = LogNormal(1.0, 0.5)
+        assert ks_distance(d.rvs(5000, seed=5), d) < 0.03
+
+    def test_wrong_distribution_large(self):
+        d = LogNormal(1.0, 0.5)
+        wrong = LogNormal(2.0, 0.5)
+        assert ks_distance(d.rvs(5000, seed=6), wrong) > 0.3
+
+    def test_bounds(self):
+        d = LogNormal(0.0, 1.0)
+        ks = ks_distance(d.rvs(100, seed=7), d)
+        assert 0.0 <= ks <= 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ks_distance(np.array([]), LogNormal(0.0, 1.0))

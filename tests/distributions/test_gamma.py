@@ -1,0 +1,67 @@
+"""Closed-form tests for Gamma (Table 5, Theorem 7)."""
+
+import math
+
+import pytest
+
+from repro.distributions import Exponential, Gamma
+
+
+class TestConstruction:
+    def test_paper_instance(self):
+        d = Gamma()
+        assert (d.shape, d.rate) == (2.0, 2.0)
+
+    @pytest.mark.parametrize("shape,rate", [(0.0, 1.0), (1.0, 0.0)])
+    def test_invalid(self, shape, rate):
+        with pytest.raises(ValueError):
+            Gamma(shape, rate)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("a,b", [(0.5, 1.0), (2.0, 2.0), (5.0, 0.5)])
+    def test_moments(self, a, b):
+        d = Gamma(a, b)
+        assert d.mean() == pytest.approx(a / b)
+        assert d.var() == pytest.approx(a / b**2)
+        assert d.second_moment() == pytest.approx(a * (a + 1) / b**2)
+
+    def test_shape_one_is_exponential(self):
+        g = Gamma(1.0, 3.0)
+        e = Exponential(3.0)
+        for t in [0.01, 0.3, 2.0]:
+            assert float(g.pdf(t)) == pytest.approx(float(e.pdf(t)), rel=1e-9)
+            assert float(g.cdf(t)) == pytest.approx(float(e.cdf(t)), rel=1e-9)
+
+    def test_pdf_boundary_behaviour(self):
+        assert float(Gamma(2.0, 1.0).pdf(0.0)) == 0.0
+        assert float(Gamma(1.0, 2.5).pdf(0.0)) == pytest.approx(2.5)
+        assert math.isinf(float(Gamma(0.5, 1.0).pdf(0.0)))
+
+    def test_sum_property_via_sampling(self):
+        """Gamma(2, b) is the sum of two Exp(b): check the mean only (cheap)."""
+        d = Gamma(2.0, 2.0)
+        assert d.mean() == pytest.approx(2 * Exponential(2.0).mean())
+
+
+class TestConditionalExpectation:
+    def test_theorem7_at_mean(self):
+        d = Gamma(2.0, 2.0)
+        tau = d.mean()
+        # Direct formula: a/b + (tau b)^a e^{-tau b} / (Gamma(a, tau b) b)
+        from scipy.special import gammaincc, gamma as G
+
+        x = tau * d.rate
+        upper = gammaincc(d.shape, x) * G(d.shape)
+        expected = d.shape / d.rate + x**d.shape * math.exp(-x) / (upper * d.rate)
+        assert d.conditional_expectation(tau) == pytest.approx(expected, rel=1e-10)
+
+    def test_deep_tail_stable(self):
+        d = Gamma(2.0, 2.0)
+        tau = float(d.quantile(1 - 1e-15))
+        got = d.conditional_expectation(tau)
+        assert math.isfinite(got) and got > tau
+
+    def test_memoryless_special_case(self):
+        g = Gamma(1.0, 2.0)
+        assert g.conditional_expectation(5.0) == pytest.approx(5.5, rel=1e-9)

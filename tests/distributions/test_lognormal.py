@@ -1,0 +1,88 @@
+"""Closed-form tests for LogNormal (Table 5, Theorem 8) and the moment
+reparameterization used by Fig. 4."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distributions import LogNormal, lognormal_from_moments
+
+
+class TestConstruction:
+    def test_paper_instance(self):
+        d = LogNormal()
+        assert (d.mu, d.sigma) == (3.0, 0.5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError, match="sigma"):
+            LogNormal(0.0, -1.0)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("mu,sigma", [(0.0, 1.0), (3.0, 0.5), (7.1128, 0.2039)])
+    def test_moments(self, mu, sigma):
+        d = LogNormal(mu, sigma)
+        assert d.mean() == pytest.approx(math.exp(mu + sigma**2 / 2))
+        assert d.var() == pytest.approx(
+            (math.exp(sigma**2) - 1) * math.exp(2 * mu + sigma**2)
+        )
+
+    def test_median(self):
+        assert LogNormal(2.0, 0.7).median() == pytest.approx(math.exp(2.0))
+
+    def test_log_samples_gaussian(self):
+        d = LogNormal(1.5, 0.3)
+        x = np.log(d.rvs(50_000, seed=4))
+        assert float(x.mean()) == pytest.approx(1.5, abs=0.01)
+        assert float(x.std()) == pytest.approx(0.3, abs=0.01)
+
+    def test_zero_boundary(self):
+        d = LogNormal(0.0, 1.0)
+        assert float(d.pdf(0.0)) == 0.0
+        assert float(d.cdf(0.0)) == 0.0
+        assert float(d.sf(0.0)) == 1.0
+
+
+class TestConditionalExpectation:
+    def test_theorem8_against_erf_form(self):
+        d = LogNormal(3.0, 0.5)
+        tau = 25.0
+        from scipy.special import erf
+
+        num = 1 + erf((d.mu + d.sigma**2 - math.log(tau)) / (math.sqrt(2) * d.sigma))
+        den = 1 - erf((math.log(tau) - d.mu) / (math.sqrt(2) * d.sigma))
+        expected = math.exp(d.mu + d.sigma**2 / 2) * num / den
+        assert d.conditional_expectation(tau) == pytest.approx(expected, rel=1e-10)
+
+    def test_deep_tail_stable(self):
+        d = LogNormal(3.0, 0.5)
+        tau = float(d.quantile(1 - 1e-15))
+        got = d.conditional_expectation(tau)
+        assert math.isfinite(got) and got > tau
+
+
+class TestFromMoments:
+    @given(
+        st.floats(min_value=0.01, max_value=1e4),
+        st.floats(min_value=0.001, max_value=1e3),
+    )
+    def test_roundtrip(self, mean, std):
+        d = lognormal_from_moments(mean, std)
+        assert d.mean() == pytest.approx(mean, rel=1e-9)
+        # std round-trips through sigma -> sqrt -> square, losing relative
+        # precision when the coefficient of variation is tiny.
+        assert d.std() == pytest.approx(std, rel=1e-5)
+
+    def test_paper_base_values(self):
+        """Fig. 4 base point: mean ~0.348 h, std ~0.072 h."""
+        d = lognormal_from_moments(0.348, 0.072)
+        assert d.mean() == pytest.approx(0.348)
+        assert d.std() == pytest.approx(0.072)
+
+    @pytest.mark.parametrize("mean,std", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_invalid(self, mean, std):
+        with pytest.raises(ValueError):
+            lognormal_from_moments(mean, std)

@@ -1,0 +1,65 @@
+"""Closed-form tests for Pareto (Table 5, Theorem 10)."""
+
+import math
+
+import pytest
+
+from repro.distributions import Pareto
+
+
+class TestConstruction:
+    def test_paper_instance(self):
+        d = Pareto()
+        assert (d.scale, d.alpha) == (1.5, 3.0)
+
+    @pytest.mark.parametrize("scale,alpha", [(0.0, 3.0), (1.5, 0.0)])
+    def test_invalid(self, scale, alpha):
+        with pytest.raises(ValueError):
+            Pareto(scale, alpha)
+
+
+class TestClosedForms:
+    def test_moments(self):
+        d = Pareto(1.5, 3.0)
+        assert d.mean() == pytest.approx(3.0 * 1.5 / 2.0)
+        assert d.var() == pytest.approx(3.0 * 1.5**2 / (4.0 * 1.0))
+
+    def test_infinite_moments(self):
+        assert math.isinf(Pareto(1.0, 1.0).mean())
+        assert math.isinf(Pareto(1.0, 1.5).var())
+        assert math.isinf(Pareto(1.0, 2.0).second_moment())
+
+    def test_sf_power_law(self):
+        d = Pareto(2.0, 3.0)
+        assert float(d.sf(4.0)) == pytest.approx((2.0 / 4.0) ** 3)
+
+    def test_support_starts_at_scale(self):
+        d = Pareto(1.5, 3.0)
+        assert d.lower == 1.5
+        assert float(d.cdf(1.5)) == 0.0
+        assert float(d.pdf(1.0)) == 0.0
+
+    def test_quantile_formula(self):
+        d = Pareto(1.5, 3.0)
+        assert float(d.quantile(0.875)) == pytest.approx(3.0)  # sf = 1/8 = (1.5/3)^3
+
+
+class TestConditionalExpectation:
+    @pytest.mark.parametrize("tau", [1.5, 2.0, 10.0, 1e6])
+    def test_theorem10_multiplicative(self, tau):
+        d = Pareto(1.5, 3.0)
+        assert d.conditional_expectation(tau) == pytest.approx(3.0 * tau / 2.0)
+
+    def test_below_scale_is_mean(self):
+        d = Pareto(1.5, 3.0)
+        assert d.conditional_expectation(1.0) == pytest.approx(d.mean())
+
+    def test_alpha_at_most_one_infinite(self):
+        assert math.isinf(Pareto(1.0, 1.0).conditional_expectation(2.0))
+
+    def test_self_similarity(self):
+        """Pareto is scale-free: E[X|X>tau]/tau is constant."""
+        d = Pareto(1.5, 3.0)
+        r1 = d.conditional_expectation(2.0) / 2.0
+        r2 = d.conditional_expectation(200.0) / 200.0
+        assert r1 == pytest.approx(r2)

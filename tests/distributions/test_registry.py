@@ -1,0 +1,67 @@
+"""Tests for the distribution registry and Table 1 instantiations."""
+
+import pytest
+
+from repro.distributions import (
+    PAPER_ORDER,
+    Exponential,
+    LogNormal,
+    make_distribution,
+    paper_distribution,
+    paper_distributions,
+)
+
+
+class TestMakeDistribution:
+    def test_by_name(self):
+        d = make_distribution("exponential", rate=2.0)
+        assert isinstance(d, Exponential)
+        assert d.rate == 2.0
+
+    def test_dash_normalization(self):
+        d = make_distribution("bounded-pareto", low=1.0, high=5.0, alpha=2.0)
+        assert d.name == "bounded_pareto"
+
+    def test_unknown_raises_with_list(self):
+        with pytest.raises(KeyError, match="unknown distribution"):
+            make_distribution("normal")  # unsupported on purpose (negative values)
+
+
+class TestPaperInstantiations:
+    def test_order_matches_table_rows(self):
+        assert PAPER_ORDER[0] == "exponential"
+        assert PAPER_ORDER[-1] == "bounded_pareto"
+        assert len(PAPER_ORDER) == 9
+
+    def test_all_nine_instantiate(self):
+        dists = paper_distributions()
+        assert list(dists) == PAPER_ORDER
+
+    def test_table1_parameters(self):
+        dists = paper_distributions()
+        assert dists["exponential"].rate == 1.0
+        assert (dists["weibull"].scale, dists["weibull"].shape) == (1.0, 0.5)
+        assert (dists["gamma"].shape, dists["gamma"].rate) == (2.0, 2.0)
+        assert (dists["lognormal"].mu, dists["lognormal"].sigma) == (3.0, 0.5)
+        tn = dists["truncated_normal"]
+        assert (tn.mu, tn.a) == (8.0, 0.0)
+        assert tn.sigma**2 == pytest.approx(2.0)
+        assert (dists["pareto"].scale, dists["pareto"].alpha) == (1.5, 3.0)
+        assert (dists["uniform"].a, dists["uniform"].b) == (10.0, 20.0)
+        assert (dists["beta"].alpha, dists["beta"].beta) == (2.0, 2.0)
+        bp = dists["bounded_pareto"]
+        assert (bp.low, bp.high, bp.alpha) == (1.0, 20.0, 2.1)
+
+    def test_single_lookup(self):
+        d = paper_distribution("lognormal")
+        assert isinstance(d, LogNormal)
+
+    def test_unknown_paper_name(self):
+        with pytest.raises(KeyError, match="no paper instantiation"):
+            paper_distribution("cauchy")
+
+    def test_fresh_instances(self):
+        """Each call builds new objects (no shared mutable state)."""
+        a = paper_distribution("exponential")
+        b = paper_distribution("exponential")
+        assert a is not b

@@ -1,0 +1,85 @@
+"""Tests for the log-space special-function helpers."""
+
+import math
+
+import pytest
+from scipy import special, stats
+
+from repro.distributions.special import (
+    exp_scaled_upper_gamma,
+    log_normal_sf_ratio,
+    log_upper_gamma,
+    normal_hazard,
+)
+
+
+class TestLogUpperGamma:
+    @pytest.mark.parametrize("s", [0.5, 1.0, 3.0])
+    @pytest.mark.parametrize("x", [0.1, 1.0, 10.0])
+    def test_matches_scipy_moderate(self, s, x):
+        ref = math.log(special.gammaincc(s, x) * special.gamma(s))
+        assert log_upper_gamma(s, x) == pytest.approx(ref, rel=1e-10)
+
+    def test_x_zero_is_log_gamma(self):
+        assert log_upper_gamma(3.0, 0.0) == pytest.approx(math.log(math.gamma(3.0)))
+
+    def test_large_x_asymptotic(self):
+        """Past scipy underflow: Gamma(s, x) ~ x^{s-1} e^{-x}."""
+        s, x = 2.0, 800.0
+        got = log_upper_gamma(s, x)
+        approx = (s - 1) * math.log(x) - x  # leading order
+        assert got == pytest.approx(approx, abs=0.01)
+
+    def test_continuity_across_switch(self):
+        """Values straddling scipy's underflow threshold line up."""
+        s = 1.5
+        a = log_upper_gamma(s, 690.0)
+        b = log_upper_gamma(s, 710.0)
+        assert a > b  # decreasing in x
+        assert b - a == pytest.approx(-20.0, abs=0.5)
+
+    def test_negative_x_raises(self):
+        with pytest.raises(ValueError):
+            log_upper_gamma(1.0, -1.0)
+
+
+class TestExpScaledUpperGamma:
+    def test_moderate_value(self):
+        s, x = 3.0, 2.0
+        ref = math.exp(x) * special.gammaincc(s, x) * special.gamma(s)
+        assert exp_scaled_upper_gamma(s, x) == pytest.approx(ref, rel=1e-10)
+
+    def test_huge_x_finite(self):
+        got = exp_scaled_upper_gamma(3.0, 5000.0)
+        assert math.isfinite(got)
+        # Asymptotics: e^x Gamma(s,x) ~ x^{s-1}.
+        assert got == pytest.approx(5000.0**2, rel=0.01)
+
+
+class TestNormalHazard:
+    @pytest.mark.parametrize("z", [-3.0, 0.0, 1.0, 5.0])
+    def test_matches_scipy(self, z):
+        ref = stats.norm.pdf(z) / stats.norm.sf(z)
+        assert normal_hazard(z) == pytest.approx(ref, rel=1e-10)
+
+    def test_large_z_asymptotic(self):
+        """hazard(z) ~ z for large z."""
+        assert normal_hazard(50.0) == pytest.approx(50.0, rel=0.01)
+
+    def test_monotone(self):
+        vals = [normal_hazard(z) for z in [-2.0, 0.0, 2.0, 10.0]]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+
+class TestLogNormalSfRatio:
+    def test_matches_direct(self):
+        z1, z2 = 1.0, 2.0
+        ref = stats.norm.sf(z1) / stats.norm.sf(z2)
+        assert log_normal_sf_ratio(z1, z2) == pytest.approx(ref, rel=1e-10)
+
+    def test_deep_tail_finite(self):
+        got = log_normal_sf_ratio(39.0, 40.0)
+        assert math.isfinite(got) and got > 1.0
+
+    def test_equal_arguments_is_one(self):
+        assert log_normal_sf_ratio(3.0, 3.0) == pytest.approx(1.0)

@@ -1,0 +1,149 @@
+"""Fidelity tests for the explicit Table 6 MEAN-BY-MEAN recursion forms.
+
+The contract tests validate ``conditional_expectation`` against quadrature;
+these validate it against the *specific algebraic recursions* the paper
+prints in Appendix B (Theorems 6-13), term by term, for the Table 1
+instantiations.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro import paper_distributions
+
+
+@pytest.fixture(scope="module")
+def dists():
+    return paper_distributions()
+
+
+def mean_by_mean_sequence(dist, n=5):
+    seq = [dist.mean()]
+    for _ in range(n - 1):
+        seq.append(dist.conditional_expectation(seq[-1]))
+    return seq
+
+
+class TestWeibullRecursion:
+    """Theorem 6: t_i = lam * R_i, R_i = e^{R_{i-1}^k} Gamma(1+1/k, R_{i-1}^k)."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["weibull"]  # lam=1, k=0.5
+        lam, k = d.scale, d.shape
+        R = [math.gamma(1.0 + 1.0 / k)]
+        for _ in range(3):
+            x = R[-1] ** k
+            upper = special.gammaincc(1.0 + 1.0 / k, x) * math.gamma(1.0 + 1.0 / k)
+            R.append(math.exp(x) * upper)
+        got = mean_by_mean_sequence(d, 4)
+        np.testing.assert_allclose(got, [lam * r for r in R], rtol=1e-8)
+
+
+class TestGammaRecursion:
+    """Theorem 7: t_i = R_i / beta, R_i = a + R_{i-1}^a e^{-R_{i-1}} / Gamma(a, R_{i-1})."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["gamma"]  # a=2, b=2
+        a, b = d.shape, d.rate
+        R = [a]
+        for _ in range(3):
+            x = R[-1]
+            upper = special.gammaincc(a, x) * math.gamma(a)
+            R.append(a + (x**a) * math.exp(-x) / upper)
+        got = mean_by_mean_sequence(d, 4)
+        np.testing.assert_allclose(got, [r / b for r in R], rtol=1e-8)
+
+
+class TestLogNormalRecursion:
+    """Theorem 8: t_i = e^{mu+s^2/2} R_i with the erf ratio recursion."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["lognormal"]  # mu=3, s=0.5
+        mu, s = d.mu, d.sigma
+        m = math.exp(mu + s * s / 2.0)
+        R = [1.0]
+        for _ in range(3):
+            num = 1.0 + special.erf((s * s - 2.0 * math.log(R[-1])) / (2.0 * math.sqrt(2.0) * s))
+            den = 1.0 - special.erf((s * s + 2.0 * math.log(R[-1])) / (2.0 * math.sqrt(2.0) * s))
+            R.append(num / den)
+        got = mean_by_mean_sequence(d, 4)
+        np.testing.assert_allclose(got, [m * r for r in R], rtol=1e-8)
+
+
+class TestParetoRecursion:
+    """Theorem 10: t_i = (a/(a-1)) t_{i-1}."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["pareto"]  # nu=1.5, a=3
+        ratio = d.alpha / (d.alpha - 1.0)
+        got = mean_by_mean_sequence(d, 5)
+        assert got[0] == pytest.approx(ratio * d.scale)
+        for a, b in zip(got, got[1:]):
+            assert b == pytest.approx(ratio * a, rel=1e-12)
+
+
+class TestUniformRecursion:
+    """Theorem 11: t_i = (b + t_{i-1}) / 2."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["uniform"]  # [10, 20]
+        got = mean_by_mean_sequence(d, 5)
+        assert got[0] == 15.0
+        for a, b in zip(got, got[1:]):
+            assert b == pytest.approx(0.5 * (20.0 + a), rel=1e-12)
+
+
+class TestBetaRecursion:
+    """Theorem 12 via incomplete-beta ratios."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["beta"]  # a=b=2
+        a, b = d.alpha, d.beta
+        got = mean_by_mean_sequence(d, 4)
+        assert got[0] == pytest.approx(a / (a + b))
+        for prev, nxt in zip(got, got[1:]):
+            num = special.beta(a + 1, b) - special.betainc(a + 1, b, prev) * special.beta(a + 1, b)
+            den = special.beta(a, b) - special.betainc(a, b, prev) * special.beta(a, b)
+            assert nxt == pytest.approx(num / den, rel=1e-9)
+
+
+class TestBoundedParetoRecursion:
+    """Theorem 13: t_i = (a/(a-1)) (H^{1-a} - t^{1-a}) / (H^{-a} - t^{-a})."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["bounded_pareto"]  # L=1, H=20, a=2.1
+        a, H = d.alpha, d.high
+        got = mean_by_mean_sequence(d, 4)
+        for prev, nxt in zip(got, got[1:]):
+            want = (a / (a - 1.0)) * (H ** (1 - a) - prev ** (1 - a)) / (
+                H ** (-a) - prev ** (-a)
+            )
+            assert nxt == pytest.approx(want, rel=1e-10)
+
+
+class TestTruncatedNormalRecursion:
+    """Theorem 9's Mills-ratio step (exact form; the paper's printed R_i
+    recursion carries a typo — see THEORY.md)."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["truncated_normal"]  # mu=8, s^2=2, a=0
+        mu, s = d.mu, d.sigma
+        got = mean_by_mean_sequence(d, 4)
+        for prev, nxt in zip(got, got[1:]):
+            z = (prev - mu) / s
+            hazard = math.exp(-0.5 * z * z) / (
+                math.sqrt(2 * math.pi) * 0.5 * special.erfc(z / math.sqrt(2))
+            )
+            assert nxt == pytest.approx(mu + s * hazard, rel=1e-9)
+
+
+class TestExponentialRecursion:
+    """Table 6 row 1: t_i = t_{i-1} + 1/lam."""
+
+    def test_recursion_terms(self, dists):
+        d = dists["exponential"]
+        got = mean_by_mean_sequence(d, 6)
+        np.testing.assert_allclose(np.diff(got), 1.0 / d.rate, rtol=1e-12)

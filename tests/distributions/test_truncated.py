@@ -1,0 +1,96 @@
+"""Tests for the left-truncation combinator (X | X > c)."""
+
+import numpy as np
+import pytest
+
+from repro import Exponential, LogNormal, Uniform
+from repro.distributions.base import SupportError
+from repro.distributions.truncated import LeftTruncated
+
+
+class TestConstruction:
+    def test_support_starts_at_cut(self):
+        t = LeftTruncated(LogNormal(3.0, 0.5), 20.0)
+        assert t.support()[0] == 20.0
+
+    def test_cut_below_support_clamped(self):
+        base = Uniform(10.0, 20.0)
+        t = LeftTruncated(base, 5.0)
+        assert t.cut == 10.0
+        assert float(t.cdf(15.0)) == pytest.approx(float(base.cdf(15.0)))
+
+    def test_cut_beyond_support_rejected(self):
+        with pytest.raises(SupportError):
+            LeftTruncated(Uniform(10.0, 20.0), 20.0)
+
+
+class TestProbability:
+    def test_renormalization(self):
+        base = Exponential(1.0)
+        t = LeftTruncated(base, 2.0)
+        # P(X <= x | X > 2) = (F(x) - F(2)) / sf(2).
+        for x in [2.5, 4.0, 10.0]:
+            want = (float(base.cdf(x)) - float(base.cdf(2.0))) / float(base.sf(2.0))
+            assert float(t.cdf(x)) == pytest.approx(want, rel=1e-12)
+
+    def test_exponential_memorylessness(self):
+        """Exp | X > c is a shifted Exp: sf_t(c + s) = e^{-s}."""
+        t = LeftTruncated(Exponential(1.0), 3.0)
+        for s in [0.5, 1.0, 4.0]:
+            assert float(t.sf(3.0 + s)) == pytest.approx(np.exp(-s), rel=1e-10)
+
+    def test_pdf_integrates_to_one(self):
+        from scipy import integrate
+
+        t = LeftTruncated(LogNormal(3.0, 0.5), 25.0)
+        upper = float(t.quantile(1 - 1e-12))
+        mass, _ = integrate.quad(t.pdf, 25.0, upper, limit=200)
+        assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantile_roundtrip(self):
+        t = LeftTruncated(LogNormal(3.0, 0.5), 25.0)
+        for q in [0.1, 0.5, 0.9]:
+            assert float(t.cdf(t.quantile(q))) == pytest.approx(q, abs=1e-10)
+
+    def test_below_cut(self):
+        t = LeftTruncated(Exponential(1.0), 2.0)
+        assert float(t.pdf(1.0)) == 0.0
+        assert float(t.cdf(1.0)) == 0.0
+        assert float(t.sf(1.0)) == 1.0
+
+
+class TestMoments:
+    def test_mean_is_conditional_expectation(self):
+        base = LogNormal(3.0, 0.5)
+        t = LeftTruncated(base, 30.0)
+        assert t.mean() == pytest.approx(base.conditional_expectation(30.0))
+
+    def test_double_truncation_composes(self):
+        base = Exponential(1.0)
+        t = LeftTruncated(base, 1.0)
+        assert t.conditional_expectation(3.0) == pytest.approx(
+            base.conditional_expectation(3.0)
+        )
+        assert t.conditional_expectation(0.5) == pytest.approx(t.mean())
+
+    def test_sampling_respects_cut(self):
+        t = LeftTruncated(LogNormal(3.0, 0.5), 30.0)
+        x = t.rvs(2000, seed=0)
+        assert np.all(x >= 30.0)
+
+    def test_second_moment_consistent(self):
+        t = LeftTruncated(Exponential(1.0), 2.0)
+        # X | X>2 = 2 + Exp(1): E[X^2] = E[(2+Y)^2] = 4 + 4*1 + 2 = 10.
+        assert t.second_moment() == pytest.approx(10.0, rel=1e-6)
+
+
+class TestStrategiesOnTruncated:
+    def test_strategies_work_unchanged(self):
+        """The combinator is a full Distribution: strategies run on it."""
+        from repro import CostModel, EqualProbabilityDP, MeanByMean
+
+        t = LeftTruncated(LogNormal(3.0, 0.5), 25.0)
+        cm = CostModel.reservation_only()
+        for strategy in (MeanByMean(), EqualProbabilityDP(n=100)):
+            seq = strategy.sequence(t, cm)
+            assert seq.first >= 25.0

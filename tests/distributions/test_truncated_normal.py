@@ -1,0 +1,73 @@
+"""Closed-form tests for TruncatedNormal (Table 5, Theorem 9)."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.distributions import TruncatedNormal
+
+
+class TestConstruction:
+    def test_paper_instance(self):
+        d = TruncatedNormal()
+        assert (d.mu, d.sigma**2, d.a) == (8.0, pytest.approx(2.0), 0.0)
+
+    def test_invalid_variance(self):
+        with pytest.raises(ValueError, match="variance"):
+            TruncatedNormal(0.0, 0.0)
+
+    def test_truncation_leaving_no_mass(self):
+        with pytest.raises(ValueError, match="mass"):
+            TruncatedNormal(mu=0.0, sigma2=1.0, a=50.0)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("mu,s2,a", [(8.0, 2.0, 0.0), (2.0, 1.0, 1.0), (0.0, 4.0, 0.0)])
+    def test_pdf_cdf_match_truncnorm(self, mu, s2, a):
+        d = TruncatedNormal(mu, s2, a)
+        sigma = math.sqrt(s2)
+        ref = stats.truncnorm((a - mu) / sigma, math.inf, loc=mu, scale=sigma)
+        for t in [a + 0.1, mu, mu + 2 * sigma]:
+            assert float(d.pdf(t)) == pytest.approx(ref.pdf(t), rel=1e-9)
+            assert float(d.cdf(t)) == pytest.approx(ref.cdf(t), rel=1e-9, abs=1e-12)
+
+    def test_moments_match_truncnorm(self):
+        d = TruncatedNormal(8.0, 2.0, 0.0)
+        sigma = math.sqrt(2.0)
+        ref = stats.truncnorm(-8.0 / sigma, math.inf, loc=8.0, scale=sigma)
+        assert d.mean() == pytest.approx(ref.mean(), rel=1e-9)
+        assert d.var() == pytest.approx(ref.var(), rel=1e-6)
+
+    def test_quantile_matches_truncnorm(self):
+        d = TruncatedNormal(2.0, 1.0, 1.0)
+        ref = stats.truncnorm(-1.0, math.inf, loc=2.0, scale=1.0)
+        for q in [0.1, 0.5, 0.9]:
+            assert float(d.quantile(q)) == pytest.approx(ref.ppf(q), rel=1e-9)
+
+
+class TestConditionalExpectation:
+    def test_mills_ratio_form(self):
+        d = TruncatedNormal(8.0, 2.0, 0.0)
+        tau = 9.0
+        z = (tau - d.mu) / d.sigma
+        expected = d.mu + d.sigma * stats.norm.pdf(z) / stats.norm.sf(z)
+        assert d.conditional_expectation(tau) == pytest.approx(expected, rel=1e-9)
+
+    def test_deep_tail_behaves_like_tau(self):
+        """Far in the tail, E[X|X>tau] -> tau + sigma^2/(tau - mu)."""
+        d = TruncatedNormal(8.0, 2.0, 0.0)
+        tau = 40.0
+        got = d.conditional_expectation(tau)
+        approx = tau + d.sigma**2 / (tau - d.mu)
+        assert got == pytest.approx(approx, rel=1e-2)
+        assert got > tau
+
+    def test_below_truncation_is_mean(self):
+        d = TruncatedNormal(8.0, 2.0, 3.0)
+        assert d.conditional_expectation(1.0) == pytest.approx(d.mean())
+
+    def test_hardly_truncated_matches_normal_mean(self):
+        """With a far-left truncation point, mean ~ mu."""
+        d = TruncatedNormal(8.0, 2.0, 0.0)
+        assert d.mean() == pytest.approx(8.0, abs=1e-6)

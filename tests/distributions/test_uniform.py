@@ -1,0 +1,57 @@
+"""Closed-form tests for Uniform (Table 5, Theorem 11)."""
+
+import pytest
+
+from repro.distributions import Uniform
+from repro.distributions.base import SupportError
+
+
+class TestConstruction:
+    def test_paper_instance(self):
+        d = Uniform()
+        assert (d.a, d.b) == (10.0, 20.0)
+
+    @pytest.mark.parametrize("a,b", [(5.0, 5.0), (5.0, 4.0), (-1.0, 2.0)])
+    def test_invalid(self, a, b):
+        with pytest.raises(ValueError):
+            Uniform(a, b)
+
+
+class TestClosedForms:
+    def test_moments(self):
+        d = Uniform(10.0, 20.0)
+        assert d.mean() == pytest.approx(15.0)
+        assert d.var() == pytest.approx(100.0 / 12.0)
+        assert d.second_moment() == pytest.approx((100 + 200 + 400) / 3.0)
+
+    def test_density_constant(self):
+        d = Uniform(10.0, 20.0)
+        assert float(d.pdf(12.0)) == pytest.approx(0.1)
+        assert float(d.pdf(9.9)) == 0.0
+        assert float(d.pdf(20.1)) == 0.0
+
+    def test_cdf_linear(self):
+        d = Uniform(10.0, 20.0)
+        assert float(d.cdf(15.0)) == pytest.approx(0.5)
+        assert float(d.cdf(25.0)) == 1.0
+        assert float(d.cdf(5.0)) == 0.0
+
+    def test_quantile_affine(self):
+        d = Uniform(10.0, 20.0)
+        assert float(d.quantile(0.25)) == pytest.approx(12.5)
+
+
+class TestConditionalExpectation:
+    @pytest.mark.parametrize("tau", [10.0, 12.0, 19.9])
+    def test_theorem11_midpoint(self, tau):
+        d = Uniform(10.0, 20.0)
+        assert d.conditional_expectation(tau) == pytest.approx((20.0 + tau) / 2.0)
+
+    def test_below_a_is_mean(self):
+        d = Uniform(10.0, 20.0)
+        assert d.conditional_expectation(5.0) == pytest.approx(15.0)
+
+    def test_at_or_above_b_raises(self):
+        d = Uniform(10.0, 20.0)
+        with pytest.raises(SupportError):
+            d.conditional_expectation(20.0)

@@ -1,0 +1,68 @@
+"""Closed-form tests for Weibull (Table 5, Theorem 6)."""
+
+import math
+
+import pytest
+
+from repro.distributions import Exponential, Weibull
+from repro.distributions.special import exp_scaled_upper_gamma
+
+
+class TestConstruction:
+    def test_paper_instance(self):
+        d = Weibull()
+        assert (d.scale, d.shape) == (1.0, 0.5)
+
+    @pytest.mark.parametrize("scale,shape", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_invalid_params(self, scale, shape):
+        with pytest.raises(ValueError):
+            Weibull(scale, shape)
+
+
+class TestClosedForms:
+    def test_mean_formula(self):
+        d = Weibull(scale=2.0, shape=0.5)
+        assert d.mean() == pytest.approx(2.0 * math.gamma(3.0))
+
+    def test_variance_formula(self):
+        d = Weibull(scale=1.0, shape=2.0)
+        g1, g2 = math.gamma(1.5), math.gamma(2.0)
+        assert d.var() == pytest.approx(g2 - g1 * g1)
+
+    def test_cdf_quantile_roundtrip_heavy_tail(self):
+        d = Weibull(1.0, 0.5)
+        for q in [1e-6, 0.5, 1 - 1e-9]:
+            assert float(d.cdf(d.quantile(q))) == pytest.approx(q, abs=1e-12)
+
+    def test_shape_one_is_exponential(self):
+        w = Weibull(scale=2.0, shape=1.0)
+        e = Exponential(rate=0.5)
+        for t in [0.1, 1.0, 5.0]:
+            assert float(w.cdf(t)) == pytest.approx(float(e.cdf(t)))
+            assert float(w.pdf(t)) == pytest.approx(float(e.pdf(t)))
+        assert w.mean() == pytest.approx(e.mean())
+
+    def test_pdf_diverges_at_zero_for_small_shape(self):
+        d = Weibull(1.0, 0.5)
+        assert float(d.pdf(1e-10)) > 1e4
+
+
+class TestConditionalExpectation:
+    def test_theorem6_form(self):
+        """E[X|X>tau] = scale * e^{z} Gamma(1 + 1/k, z), z = (tau/scale)^k."""
+        d = Weibull(scale=1.5, shape=0.8)
+        tau = 2.0
+        z = (tau / 1.5) ** 0.8
+        expected = 1.5 * exp_scaled_upper_gamma(1.0 + 1.0 / 0.8, z)
+        assert d.conditional_expectation(tau) == pytest.approx(expected)
+
+    def test_deep_tail_stable(self):
+        """No overflow far in the tail (the log-space path)."""
+        d = Weibull(1.0, 0.5)
+        tau = float(d.quantile(1 - 1e-14))
+        got = d.conditional_expectation(tau)
+        assert math.isfinite(got) and got > tau
+
+    def test_matches_exponential_special_case(self):
+        w = Weibull(scale=1.0, shape=1.0)
+        assert w.conditional_expectation(3.0) == pytest.approx(4.0, rel=1e-9)

@@ -1,0 +1,45 @@
+"""Tests for the A4 tail-heaviness ablation."""
+
+import pytest
+
+from repro.experiments.ablations import format_ablation_tail, run_ablation_tail
+from repro.experiments.common import ExperimentConfig
+
+TINY = ExperimentConfig(n_discrete=200)
+
+
+class TestAblationTail:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_tail(shapes=(0.3, 1.0, 3.0), config=TINY)
+
+    def test_light_tail_dp_wins(self, result):
+        row = result[3.0]
+        assert row["equal_probability_dp"] < row["mean_doubling"]
+
+    def test_exponential_case(self, result):
+        """k=1 is Exp(1): both strategies near the known landscape."""
+        row = result[1.0]
+        assert row["equal_probability_dp"] == pytest.approx(2.37, abs=0.15)
+
+    def test_extreme_tail_truncation_bites(self, result):
+        """The honest finding: at k=0.3 the truncated DP degrades below
+        doubling — the paper's discretization has limits."""
+        row = result[0.3]
+        assert row["equal_probability_dp"] > row["mean_doubling"]
+
+    def test_costs_increase_with_tail_weight_for_doubling(self, result):
+        assert (
+            result[0.3]["mean_doubling"]
+            > result[1.0]["mean_doubling"]
+            > result[3.0]["mean_doubling"]
+        )
+
+    def test_formatting(self, result):
+        text = format_ablation_tail(result)
+        assert "A4" in text and "gap" in text
+
+    def test_runner_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ablation-tail" in EXPERIMENTS

@@ -1,0 +1,116 @@
+"""Tests for the ablation experiments, extension experiments, and the CLI."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_ablation_bruteforce_grid,
+    format_ablation_evaluator,
+    format_ablation_truncation,
+    run_ablation_bruteforce_grid,
+    run_ablation_evaluator,
+    run_ablation_truncation,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.extensions_exp import (
+    format_checkpoint_experiment,
+    format_convex_experiment,
+    run_checkpoint_experiment,
+    run_convex_experiment,
+)
+from repro.experiments.runner import EXPERIMENTS, main
+
+TINY = ExperimentConfig(m_grid=40, n_samples=200, n_discrete=50, seed=3)
+
+
+class TestAblationEvaluator:
+    def test_evaluators_agree_within_noise(self):
+        rows = run_ablation_evaluator(TINY)
+        assert len(rows) == 9
+        for r in rows:
+            assert r.z_score < 5.0, r.distribution
+
+    def test_formatting(self):
+        rows = run_ablation_evaluator(TINY)
+        assert "Ablation A1" in format_ablation_evaluator(rows)
+
+
+class TestAblationBruteForce:
+    def test_cost_non_increasing_in_m(self):
+        out = run_ablation_bruteforce_grid(
+            ("exponential",), grid_sizes=(10, 100, 400), config=TINY
+        )
+        series = [out["exponential"][m] for m in (10, 100, 400)]
+        assert series[2] <= series[0] + 1e-9
+
+    def test_formatting(self):
+        out = run_ablation_bruteforce_grid(("lognormal",), grid_sizes=(10, 50), config=TINY)
+        assert "M=50" in format_ablation_bruteforce_grid(out)
+
+
+class TestAblationTruncation:
+    def test_runs_and_formats(self):
+        out = run_ablation_truncation(("lognormal",), epsilons=(1e-3, 1e-6), config=TINY)
+        assert set(out["lognormal"]) == {1e-3, 1e-6}
+        assert "eps=" in format_ablation_truncation(out)
+
+
+class TestConvexExperiment:
+    def test_rows_and_shape(self):
+        rows = run_convex_experiment(
+            a2_values=(0.1,), distribution_names=("exponential", "uniform"),
+            config=TINY, n_grid=100,
+        )
+        assert len(rows) == 2
+        uniform_row = next(r for r in rows if r.distribution == "uniform")
+        assert uniform_row.best_t1 == pytest.approx(20.0)
+        for r in rows:
+            assert r.normalized >= 1.0
+        assert "E1" in format_convex_experiment(rows)
+
+
+class TestCheckpointExperiment:
+    def test_zero_overhead_improves(self):
+        rows = run_checkpoint_experiment(
+            overheads=(0.0, 1.0), distribution_names=("exponential",), config=TINY
+        )
+        by_overhead = {r.overhead: r for r in rows}
+        assert by_overhead[0.0].improvement > 0.2
+        assert by_overhead[0.0].checkpoint_cost < by_overhead[1.0].checkpoint_cost
+        assert "E2" in format_checkpoint_experiment(rows)
+
+
+class TestRunnerCli:
+    def test_registry_complete(self):
+        assert {"table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4"} <= set(
+            EXPERIMENTS
+        )
+
+    def test_single_experiment_quick(self, capsys):
+        assert main(["fig1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "[fig1:" in out
+
+    def test_seed_override(self, capsys):
+        assert main(["fig2", "--quick", "--seed", "42"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_fig3_csv(self, capsys):
+        assert main(["fig3", "--quick", "--csv", "uniform"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("t1,normalized_cost")
+
+    def test_csv_only_for_fig3(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--csv", "uniform"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+
+class TestSaveOption:
+    def test_save_writes_artifact_files(self, tmp_path, capsys):
+        assert main(["fig2", "--quick", "--save", str(tmp_path)]) == 0
+        saved = tmp_path / "fig2.txt"
+        assert saved.exists()
+        assert "Figure 2" in saved.read_text()

@@ -1,0 +1,43 @@
+"""Tests for the E6 deadline-frontier experiment."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.deadline_exp import (
+    format_deadline_experiment,
+    run_deadline_experiment,
+)
+
+TINY = ExperimentConfig(m_grid=30, n_samples=200, n_discrete=120, seed=31)
+
+
+class TestDeadlineExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_deadline_experiment(
+            deadline_factors=(1.0, 2.0, 8.0), config=TINY
+        )
+
+    def test_frontier_monotone(self, rows):
+        costs = [r.expected_cost for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_endpoints(self, rows):
+        tight = rows[0]
+        loose = rows[-1]
+        assert tight.certainty_premium > 0.1
+        assert abs(loose.certainty_premium) < 0.01
+
+    def test_guarantees_hold(self, rows):
+        for r in rows:
+            assert r.worst_case > 0
+            assert r.n_reservations >= 1
+
+    def test_formatting(self, rows):
+        text = format_deadline_experiment(rows)
+        assert "E6" in text and "premium" in text
+
+    def test_runner_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ext-deadline" in EXPERIMENTS

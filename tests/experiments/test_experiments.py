@@ -1,0 +1,170 @@
+"""Tests for the experiment harness (quick configs; shapes, not numbers)."""
+
+import pytest
+
+from repro.experiments.common import PAPER, QUICK, ExperimentConfig
+from repro.experiments.fig1 import format_fig1, run_fig1
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.fig3 import fig3_csv, format_fig3, run_fig3
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+
+TINY = ExperimentConfig(m_grid=60, n_samples=200, n_discrete=60, seed=11)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        assert (PAPER.m_grid, PAPER.n_samples, PAPER.n_discrete) == (5000, 1000, 1000)
+        assert PAPER.epsilon == 1e-7
+
+    def test_quick_smaller(self):
+        assert QUICK.m_grid < PAPER.m_grid
+
+    def test_scaled(self):
+        c = PAPER.scaled(0.1)
+        assert c.m_grid == 500
+        with pytest.raises(ValueError):
+            PAPER.scaled(0.0)
+
+    def test_with_seed(self):
+        assert PAPER.with_seed(1).seed == 1
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table2(TINY)
+
+    def test_all_cells_present(self, result):
+        assert len(result.records) == 9
+        for row in result.records.values():
+            assert len(row) == 7
+
+    def test_normalized_at_least_one(self, result):
+        for dist, row in result.records.items():
+            for strat, rec in row.items():
+                assert rec.normalized_cost >= 1.0 - 1e-9, (dist, strat)
+
+    def test_aws_break_even_headline(self, result):
+        """Paper headline: all heuristics stay below the RI/OD ratio of 4."""
+        for dist, row in result.records.items():
+            for strat, rec in row.items():
+                assert rec.normalized_cost < 4.0, (dist, strat)
+
+    def test_uniform_row_exact(self, result):
+        """Uniform: BF and both DPs land on (b), ratio exactly 4/3."""
+        row = result.records["uniform"]
+        for strat in ("brute_force", "equal_time_dp", "equal_probability_dp"):
+            assert row[strat].normalized_cost == pytest.approx(4.0 / 3.0, abs=1e-9)
+
+    def test_brute_force_near_best(self, result):
+        """BF is within noise of the best heuristic in every row."""
+        for dist, row in result.records.items():
+            best = min(rec.expected_cost for rec in row.values())
+            assert row["brute_force"].expected_cost <= best * 1.15, dist
+
+    def test_formatting(self, result):
+        text = format_table2(result)
+        assert "Table 2" in text
+        assert "exponential" in text and "(" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table3(TINY)
+
+    def test_rows(self, result):
+        assert len(result.rows) == 9
+
+    def test_uniform_structure(self, result):
+        row = next(r for r in result.rows if r.distribution == "uniform")
+        assert row.t1_bf == pytest.approx(20.0, abs=0.2)
+        # All interior quantile guesses invalid (Theorem 4).
+        assert row.quantile_cost[0.25] is None
+        assert row.quantile_cost[0.5] is None
+
+    def test_bf_beats_valid_quantiles(self, result):
+        for row in result.rows:
+            for q, cost in row.quantile_cost.items():
+                if cost is not None:
+                    assert row.cost_bf <= cost * 1.1, (row.distribution, q)
+
+    def test_q99_usually_valid_but_bad(self, result):
+        """Q(0.99) yields valid sequences for unbounded laws, at high cost."""
+        valid = [
+            r for r in result.rows
+            if r.distribution in ("exponential", "weibull", "gamma", "pareto")
+        ]
+        for row in valid:
+            assert row.quantile_cost[0.99] is not None
+            assert row.quantile_cost[0.99] > row.cost_bf
+
+    def test_formatting(self, result):
+        text = format_table3(result)
+        assert "Q(0.25)" in text and "(-)" in text
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4(TINY, sample_counts=(10, 50, 250))
+
+    def test_all_cells(self, result):
+        assert len(result.costs) == 9 * 2 * 3
+
+    def test_convergence_shape_heavy_tails(self, result):
+        """Weibull(k=0.5) and Pareto improve sharply from n=10 to n=250."""
+        for dist in ("weibull", "pareto"):
+            series = result.series(dist, "equal_time")
+            assert series[-1] < series[0] * 0.7, dist
+
+    def test_uniform_flat(self, result):
+        series = result.series("uniform", "equal_probability")
+        for v in series:
+            assert v == pytest.approx(4.0 / 3.0, abs=0.02)
+
+    def test_formatting(self, result):
+        assert "n=250" in format_table4(result)
+
+
+class TestFigures:
+    def test_fig1(self):
+        r = run_fig1(TINY, n_runs=2000)
+        assert set(r.panels) == {"fmriqa", "vbmqa"}
+        p = r.panels["vbmqa"]
+        assert p.fit.mu == pytest.approx(p.generating_mu, abs=0.05)
+        assert p.ks < 0.05
+        assert "vbmqa" in format_fig1(r)
+
+    def test_fig2(self):
+        r = run_fig2(TINY, n_jobs=2000)
+        assert set(r.panels) == {204, 409}
+        p409 = r.panels[409]
+        assert p409.fitted.slope == pytest.approx(0.95, abs=0.15)
+        assert "409" in format_fig2(r)
+
+    def test_fig3(self):
+        r = run_fig3(TINY, sweep_points=60)
+        assert len(r.series) == 9
+        exp = r.series["exponential"]
+        assert len(exp.points) == 60
+        assert 0 < exp.feasible_fraction <= 1.0
+        assert exp.best_cost >= 1.0
+        csv = fig3_csv(r, "exponential")
+        assert csv.splitlines()[0] == "t1,normalized_cost"
+        assert len(csv.splitlines()) == 61
+        assert "exponential" in format_fig3(r)
+
+    def test_fig4_shape(self):
+        r = run_fig4(TINY, scales=((1.0, 1.0), (5.0, 5.0)))
+        for scale, row in r.costs.items():
+            # Headline: BF and the DPs clearly beat the simple heuristics.
+            assert row["brute_force"] < row["median_by_median"], scale
+            assert row["equal_time_dp"] < row["median_by_median"], scale
+            for v in row.values():
+                assert v >= 1.0 - 1e-9
+        assert "brute_force" in format_fig4(r)
+        assert len(r.series("brute_force")) == 2

@@ -1,0 +1,50 @@
+"""Tests for the E4 in-vivo experiment."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.invivo_exp import (
+    STRATEGY_SUBSET,
+    format_invivo_experiment,
+    run_invivo_experiment,
+)
+
+TINY = ExperimentConfig(m_grid=40, n_samples=200, n_discrete=150, seed=13)
+
+
+class TestInVivoExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_invivo_experiment(TINY, n_jobs=200, total_nodes=16,
+                                     arrival_rate=20.0)
+
+    def test_all_strategies_present(self, rows):
+        assert {r.strategy for r in rows} == set(STRATEGY_SUBSET)
+
+    def test_ordering_survives_reality(self, rows):
+        by_name = {r.strategy: r for r in rows}
+        assert (
+            by_name["equal_probability_dp"].realized_turnaround
+            < by_name["median_by_median"].realized_turnaround
+        )
+
+    def test_attempts_track_model(self, rows):
+        by_name = {r.strategy: r for r in rows}
+        assert by_name["equal_probability_dp"].mean_attempts < (
+            by_name["median_by_median"].mean_attempts
+        )
+
+    def test_model_predictions_recorded(self, rows):
+        for r in rows:
+            assert r.model_normalized >= 1.0
+            assert r.realized_turnaround > 0
+            assert r.realized_p95 >= r.realized_turnaround * 0.5
+
+    def test_formatting(self, rows):
+        text = format_invivo_experiment(rows)
+        assert "E4" in text and "realized" in text
+
+    def test_runner_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ext-invivo" in EXPERIMENTS

@@ -1,0 +1,84 @@
+"""Tests for the E5 misspecification experiment and the bimodal mixture."""
+
+import pytest
+from scipy import integrate
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.misspecification_exp import (
+    BimodalLogNormal,
+    format_misspecification_experiment,
+    run_misspecification_experiment,
+)
+
+TINY = ExperimentConfig(m_grid=50, n_samples=400, n_discrete=150, seed=23)
+
+
+class TestBimodalLogNormal:
+    def test_zero_gap_is_lognormal(self):
+        from repro.distributions.lognormal import LogNormal
+
+        b = BimodalLogNormal(mu=1.0, sigma=0.25, gap=0.0)
+        ref = LogNormal(1.0, 0.25)
+        for t in [1.0, 2.7, 5.0]:
+            assert float(b.pdf(t)) == pytest.approx(float(ref.pdf(t)), rel=1e-9)
+
+    def test_mass_integrates_to_one(self):
+        b = BimodalLogNormal(gap=2.0)
+        hi = float(b.quantile(1 - 1e-10))
+        mass, _ = integrate.quad(b.pdf, 0.0, hi, limit=300)
+        assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantile_roundtrip(self):
+        b = BimodalLogNormal(gap=2.0)
+        for q in [0.1, 0.55, 0.9]:
+            assert float(b.cdf(b.quantile(q))) == pytest.approx(q, abs=1e-9)
+
+    def test_mixture_mean(self):
+        b = BimodalLogNormal(mu=1.0, sigma=0.25, gap=2.0, w=0.6)
+        want = 0.6 * b.fast.mean() + 0.4 * b.slow.mean()
+        assert b.mean() == pytest.approx(want)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BimodalLogNormal(w=0.0)
+        with pytest.raises(ValueError):
+            BimodalLogNormal(gap=-1.0)
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_misspecification_experiment(
+            gaps=(0.0, 2.5), n_trace=800, config=TINY
+        )
+
+    def test_row_count(self, rows):
+        assert len(rows) == 2
+
+    def test_well_specified_no_premium(self, rows):
+        r0 = next(r for r in rows if r.gap == 0.0)
+        assert abs(r0.misspecification_premium) < 0.10
+
+    def test_misspecified_premium_grows(self, rows):
+        r0 = next(r for r in rows if r.gap == 0.0)
+        r1 = next(r for r in rows if r.gap == 2.5)
+        assert r1.misspecification_premium > r0.misspecification_premium + 0.10
+
+    def test_empirical_tracks_oracle(self, rows):
+        for r in rows:
+            assert r.empirical_premium < r.misspecification_premium + 0.05
+            assert r.empirical_premium < 0.25
+
+    def test_oracle_is_best_or_close(self, rows):
+        for r in rows:
+            assert r.oracle_cost <= r.parametric_cost * 1.02
+            assert r.oracle_cost <= r.empirical_cost * 1.05
+
+    def test_formatting(self, rows):
+        text = format_misspecification_experiment(rows)
+        assert "E5" in text and "premium" in text
+
+    def test_runner_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ext-misspecification" in EXPERIMENTS

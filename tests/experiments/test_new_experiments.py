@@ -1,0 +1,62 @@
+"""Tests for the fig2sim and multi-resource experiments."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig2sim import format_fig2sim, run_fig2sim
+from repro.experiments.multiresource_exp import (
+    format_multiresource_experiment,
+    run_multiresource_experiment,
+)
+
+TINY = ExperimentConfig(m_grid=50, n_samples=300, n_discrete=100, seed=17)
+
+
+class TestFig2Sim:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2sim(TINY, n_jobs=1200, total_nodes=64)
+
+    def test_both_schedulers_present(self, result):
+        assert set(result.panels) == {"easy_backfill", "fcfs"}
+
+    def test_positive_emergent_slope(self, result):
+        assert result.panels["easy_backfill"].fitted.slope > 0.0
+
+    def test_backfilling_beats_fcfs(self, result):
+        easy, fcfs = result.panels["easy_backfill"], result.panels["fcfs"]
+        assert easy.stats.mean_wait < fcfs.stats.mean_wait
+        assert easy.relative_slope > fcfs.relative_slope
+
+    def test_formatting(self, result):
+        text = format_fig2sim(result)
+        assert "easy_backfill" in text and "fit slope" in text
+
+
+class TestMultiResourceExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_multiresource_experiment(
+            alpha1_values=(0.01, 1.0), serial_fractions=(0.05,), config=TINY
+        )
+
+    def test_row_count(self, rows):
+        assert len(rows) == 2
+
+    def test_crossover(self, rows):
+        cheap = next(r for r in rows if r.alpha1 == 0.01)
+        pricey = next(r for r in rows if r.alpha1 == 1.0)
+        assert cheap.max_processors > pricey.max_processors
+
+    def test_normalized_band(self, rows):
+        for r in rows:
+            assert 1.0 - 1e-9 <= r.normalized < 3.5
+
+    def test_formatting(self, rows):
+        assert "E3" in format_multiresource_experiment(rows)
+
+    def test_runner_has_new_experiments(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "fig2sim" in EXPERIMENTS
+        assert "ext-multiresource" in EXPERIMENTS

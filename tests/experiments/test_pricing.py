@@ -1,0 +1,51 @@
+"""Tests for the Section 5.2 pricing-decision experiment."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.pricing_exp import (
+    format_pricing_experiment,
+    run_pricing_experiment,
+)
+
+TINY = ExperimentConfig(m_grid=30, n_samples=200, n_discrete=150, seed=9)
+
+
+class TestPricingExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_pricing_experiment(ratios=(1.5, 4.0), config=TINY)
+
+    def test_all_nine_rows(self, rows):
+        assert len(rows) == 9
+
+    def test_paper_headline_ri_always_wins_at_4x(self, rows):
+        """Section 5.2: every distribution's cost ratio is < 4."""
+        for r in rows:
+            assert r.decisions[4.0], r.distribution
+            assert r.savings_at_aws > 0, r.distribution
+
+    def test_predictable_workloads_win_even_at_low_ratios(self, rows):
+        by_name = {r.distribution: r for r in rows}
+        assert by_name["uniform"].decisions[1.5]
+        assert by_name["truncated_normal"].decisions[1.5]
+        # Heavy-tailed Weibull(0.5) needs a bigger discount.
+        assert not by_name["weibull"].decisions[1.5]
+
+    def test_break_even_consistent_with_decisions(self, rows):
+        for r in rows:
+            for ratio, wins in r.decisions.items():
+                assert wins == (r.break_even_ratio <= ratio), r.distribution
+
+    def test_uniform_exact_break_even(self, rows):
+        uni = next(r for r in rows if r.distribution == "uniform")
+        assert uni.break_even_ratio == pytest.approx(4.0 / 3.0, abs=1e-6)
+
+    def test_formatting(self, rows):
+        text = format_pricing_experiment(rows)
+        assert "break-even" in text and "yes" in text and "no" in text
+
+    def test_runner_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "pricing" in EXPERIMENTS

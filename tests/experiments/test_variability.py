@@ -1,0 +1,48 @@
+"""Tests for the R1 seed-variability study."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.variability_exp import (
+    format_variability_experiment,
+    run_variability_experiment,
+)
+
+TINY = ExperimentConfig(m_grid=60, n_samples=300, n_discrete=80, seed=41)
+
+
+class TestVariability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_variability_experiment(n_seeds=3, config=TINY)
+
+    def test_all_cells_present(self, result):
+        assert len(result.mean) == 9 * 7
+        assert result.n_seeds == 3
+
+    def test_stable_rows_have_tight_std(self, result):
+        """Uniform is deterministic for BF/DPs: std ~ 0."""
+        _, sd = result.cell("uniform", "equal_time_dp")
+        assert sd < 0.02
+
+    def test_heavy_tails_are_volatile(self, result):
+        _, weibull_sd = result.cell("weibull", "mean_stdev")
+        _, uniform_sd = result.cell("uniform", "mean_stdev")
+        assert weibull_sd > uniform_sd
+
+    def test_means_in_expected_band(self, result):
+        for (dist, strat), m in result.mean.items():
+            assert 1.0 <= m < 8.0, (dist, strat)
+
+    def test_needs_two_seeds(self):
+        with pytest.raises(ValueError):
+            run_variability_experiment(n_seeds=1, config=TINY)
+
+    def test_formatting(self, result):
+        text = format_variability_experiment(result)
+        assert "R1" in text and "±" in text
+
+    def test_runner_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "variability" in EXPERIMENTS

@@ -1,0 +1,163 @@
+"""Tests for the checkpointing extension (Section 7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro import CostModel, DiscreteDistribution, Exponential, LogNormal, Uniform
+from repro.discretization import equal_probability
+from repro.extensions.checkpoint import (
+    CheckpointPlan,
+    checkpoint_costs_for_times,
+    expected_checkpoint_cost_series,
+    monte_carlo_checkpoint_cost,
+    solve_checkpoint_dp,
+)
+
+
+class TestCheckpointPlan:
+    def test_increments(self):
+        p = CheckpointPlan(thresholds=np.array([1.0, 3.0, 6.0]), overhead=0.5)
+        np.testing.assert_allclose(p.increments, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(p.reservation_lengths(), [1.5, 2.5, 3.5])
+
+    @pytest.mark.parametrize(
+        "thresholds,overhead",
+        [([], 0.0), ([0.0], 0.0), ([2.0, 1.0], 0.0), ([1.0], -0.1)],
+    )
+    def test_validation(self, thresholds, overhead):
+        with pytest.raises(ValueError):
+            CheckpointPlan(thresholds=np.asarray(thresholds, dtype=float), overhead=overhead)
+
+
+class TestCostsForTimes:
+    def test_single_reservation(self):
+        p = CheckpointPlan(np.array([5.0]), overhead=0.5)
+        cm = CostModel(alpha=1.0, beta=1.0, gamma=0.25)
+        out = checkpoint_costs_for_times(p, np.array([3.0]), cm)
+        # alpha*(5+0.5) + beta*3 + gamma
+        assert out[0] == pytest.approx(5.5 + 3.0 + 0.25)
+
+    def test_second_reservation_saves_work(self):
+        p = CheckpointPlan(np.array([2.0, 5.0]), overhead=0.0)
+        cm = CostModel.reservation_only()
+        out = checkpoint_costs_for_times(p, np.array([4.0]), cm)
+        # Failed first (pays 2), then second sized 3 (work 2 already saved).
+        assert out[0] == pytest.approx(2.0 + 3.0)
+
+    def test_no_checkpoint_equivalence(self):
+        """With overhead 0 and a job finishing in reservation 1, the cost
+        matches the non-checkpointed model."""
+        p = CheckpointPlan(np.array([4.0]), overhead=0.0)
+        cm = CostModel(alpha=1.0, beta=2.0, gamma=0.5)
+        got = checkpoint_costs_for_times(p, np.array([3.0]), cm)[0]
+        assert got == pytest.approx(cm.sequence_cost([4.0], 3.0))
+
+    def test_beta_counts_remaining_work_only(self):
+        p = CheckpointPlan(np.array([2.0, 6.0]), overhead=0.0)
+        cm = CostModel(alpha=0.0 + 1e-12, beta=1.0, gamma=0.0)  # beta-only
+        out = checkpoint_costs_for_times(p, np.array([5.0]), cm)
+        # Executed: 2 (failed) + (5-2)=3 (final) = 5 total; no re-execution.
+        assert out[0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_uncovered_raises(self):
+        p = CheckpointPlan(np.array([2.0]), overhead=0.0)
+        with pytest.raises(ValueError, match="extend"):
+            checkpoint_costs_for_times(p, np.array([3.0]), CostModel())
+
+    def test_negative_time_rejected(self):
+        p = CheckpointPlan(np.array([2.0]), overhead=0.0)
+        with pytest.raises(ValueError, match="nonnegative"):
+            checkpoint_costs_for_times(p, np.array([-1.0]), CostModel())
+
+
+class TestSeriesVsMonteCarlo:
+    def test_agreement(self):
+        d = Uniform(10.0, 20.0)
+        cm = CostModel(alpha=1.0, beta=1.0, gamma=0.5)
+        p = CheckpointPlan(np.array([12.0, 16.0, 20.0]), overhead=0.3)
+        exact = expected_checkpoint_cost_series(p, d, cm)
+        mc = monte_carlo_checkpoint_cost(p, d, cm, n_samples=200_000, seed=0)
+        assert mc == pytest.approx(exact, rel=0.01)
+
+    def test_unbounded_agreement(self):
+        d = Exponential(1.0)
+        cm = CostModel.reservation_only()
+        b = float(d.quantile(1 - 1e-9))
+        p = CheckpointPlan(np.array([0.7, 1.6, 2.8, 4.5, 7.0, b]), overhead=0.1)
+        exact = expected_checkpoint_cost_series(p, d, cm)
+        mc = monte_carlo_checkpoint_cost(p, d, cm, n_samples=200_000, seed=1)
+        assert mc == pytest.approx(exact, rel=0.02)
+
+    def test_uncovered_series_raises(self):
+        d = Exponential(1.0)
+        p = CheckpointPlan(np.array([1.0, 2.0]), overhead=0.0)
+        with pytest.raises(ValueError, match="cover"):
+            expected_checkpoint_cost_series(p, d, CostModel())
+
+
+class TestCheckpointDP:
+    def test_zero_overhead_picks_every_point(self):
+        """C=0, reservation-only: checkpoint at every discrete value is
+        optimal (never pay for work twice, no penalty for splitting)."""
+        d = DiscreteDistribution([1.0, 2.0, 4.0, 8.0], [0.25] * 4)
+        plan = solve_checkpoint_dp(d, CostModel.reservation_only(), overhead=0.0)
+        np.testing.assert_allclose(plan.thresholds, [1.0, 2.0, 4.0, 8.0])
+
+    def test_huge_overhead_single_reservation(self):
+        d = DiscreteDistribution([1.0, 2.0, 4.0, 8.0], [0.25] * 4)
+        plan = solve_checkpoint_dp(d, CostModel.reservation_only(), overhead=100.0)
+        np.testing.assert_allclose(plan.thresholds, [8.0])
+
+    def test_matches_exhaustive_small(self, rng):
+        """DP equals brute-force enumeration on tiny supports."""
+        import itertools
+
+        cm = CostModel(alpha=1.0, beta=0.5, gamma=0.2)
+        for _ in range(5):
+            n = int(rng.integers(2, 6))
+            v = np.sort(rng.uniform(0.5, 10.0, size=n))
+            if np.min(np.diff(v)) < 1e-6:
+                continue
+            f = rng.dirichlet(np.ones(n))
+            d = DiscreteDistribution(v, f)
+            overhead = float(rng.uniform(0.0, 1.0))
+            plan = solve_checkpoint_dp(d, cm, overhead)
+            got = _discrete_plan_cost(plan, v, f, cm)
+
+            best = float("inf")
+            for r in range(n):
+                for subset in itertools.combinations(range(n - 1), r):
+                    picks = list(subset) + [n - 1]
+                    p = CheckpointPlan(v[np.asarray(picks, dtype=int)], overhead)
+                    best = min(best, _discrete_plan_cost(p, v, f, cm))
+            assert got == pytest.approx(best, rel=1e-9)
+
+    def test_negative_overhead_rejected(self):
+        d = DiscreteDistribution([1.0], [1.0])
+        with pytest.raises(ValueError):
+            solve_checkpoint_dp(d, CostModel(), overhead=-0.1)
+
+    def test_improves_on_restart_from_scratch(self):
+        """With zero overhead, optimal checkpointing beats the optimal
+        non-checkpointed DP (work is never redone)."""
+        from repro.strategies.dynamic_programming import solve_discrete_dp
+
+        dist = LogNormal(3.0, 0.5)
+        cm = CostModel.reservation_only()
+        discrete = equal_probability(dist, 200, 1e-6)
+        ckpt = solve_checkpoint_dp(discrete, cm, overhead=0.0)
+        v = discrete.values
+        f = discrete.masses / discrete.masses.sum()
+        ckpt_cost = _discrete_plan_cost(ckpt, v, f, cm)
+        plain_cost = solve_discrete_dp(discrete, cm).expected_cost
+        assert ckpt_cost < plain_cost
+
+
+def _discrete_plan_cost(plan: CheckpointPlan, values, masses, cm: CostModel) -> float:
+    """Expected checkpointed cost under a discrete law, by direct summation."""
+    total = 0.0
+    for t, p in zip(values, masses):
+        total += p * float(
+            checkpoint_costs_for_times(plan, np.array([t]), cm)[0]
+        )
+    return total

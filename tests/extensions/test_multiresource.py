@@ -1,0 +1,248 @@
+"""Tests for the multi-resource (time x processors) extension."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro import CostModel, DiscreteDistribution, LogNormal
+from repro.discretization import equal_probability
+from repro.extensions.multiresource import (
+    AmdahlSpeedup,
+    MultiReservation,
+    MultiResourceCostModel,
+    MultiResourcePlan,
+    PowerLawSpeedup,
+    monte_carlo_multi_cost,
+    multi_costs_for_times,
+    omniscient_multi_cost,
+    solve_multiresource_dp,
+)
+from repro.strategies.dynamic_programming import solve_discrete_dp
+
+
+class TestSpeedupModels:
+    def test_amdahl_limits(self):
+        s = AmdahlSpeedup(0.2)
+        assert s.g(1) == pytest.approx(1.0)
+        # Infinite processors: g -> serial fraction.
+        assert s.g(10_000) == pytest.approx(0.2, abs=1e-3)
+
+    def test_amdahl_monotone(self):
+        s = AmdahlSpeedup(0.1)
+        gs = [s.g(p) for p in (1, 2, 4, 8, 64)]
+        assert all(b < a for a, b in zip(gs, gs[1:]))
+
+    def test_powerlaw(self):
+        s = PowerLawSpeedup(1.0)  # perfect scaling
+        assert s.g(4) == pytest.approx(0.25)
+        assert s.time(8.0, 4) == pytest.approx(2.0)
+        assert s.coverage(2.0, 4) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(-0.1)
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(1.5)
+        with pytest.raises(ValueError):
+            PowerLawSpeedup(2.0)
+        with pytest.raises(ValueError):
+            AmdahlSpeedup(0.1).g(0)
+
+    def test_coverage_inverts_time(self):
+        s = AmdahlSpeedup(0.15)
+        w = 3.7
+        t = s.time(w, 8)
+        assert s.coverage(t, 8) == pytest.approx(w)
+
+
+class TestCostModel:
+    def test_alpha_linear_in_p(self):
+        cm = MultiResourceCostModel(alpha0=0.3, alpha1=0.2)
+        assert cm.alpha(1) == pytest.approx(0.5)
+        assert cm.alpha(4) == pytest.approx(1.1)
+
+    def test_reservation_cost(self):
+        cm = MultiResourceCostModel(alpha0=0.5, alpha1=0.5, beta=1.0, gamma=0.25)
+        assert cm.reservation_cost(2.0, 3, 1.5) == pytest.approx(
+            (0.5 + 1.5) * 2.0 + 1.5 + 0.25
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha0": -0.1},
+            {"alpha1": -0.1},
+            {"alpha0": 0.0, "alpha1": 0.0},
+            {"beta": -1.0},
+            {"gamma": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MultiResourceCostModel(**kwargs)
+
+
+class TestPlan:
+    def test_coverage_increasing_required(self):
+        s = PowerLawSpeedup(1.0)
+        # (2h, 1p) covers 2; (1h, 4p) covers 4 — increasing, fine.
+        MultiResourcePlan(
+            [MultiReservation(2.0, 1), MultiReservation(1.0, 4)], s
+        )
+        # (2h, 4p) covers 8; (4h, 1p) covers 4 — decreasing, rejected.
+        with pytest.raises(ValueError, match="increasing"):
+            MultiResourcePlan(
+                [MultiReservation(2.0, 4), MultiReservation(4.0, 1)], s
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiResourcePlan([], PowerLawSpeedup(1.0))
+
+    def test_reservation_validation(self):
+        with pytest.raises(ValueError):
+            MultiReservation(0.0, 1)
+        with pytest.raises(ValueError):
+            MultiReservation(1.0, 0)
+
+
+class TestCosting:
+    def test_single_reservation_cost(self):
+        s = PowerLawSpeedup(1.0)
+        plan = MultiResourcePlan([MultiReservation(2.0, 4)], s)  # covers 8
+        cm = MultiResourceCostModel(alpha0=0.5, alpha1=0.25, beta=1.0, gamma=0.1)
+        out = multi_costs_for_times(plan, np.array([4.0]), cm)
+        # alpha(4)=1.5; executed = 4 * g(4) = 1.0.
+        assert out[0] == pytest.approx(1.5 * 2.0 + 1.0 + 0.1)
+
+    def test_failed_then_success(self):
+        s = PowerLawSpeedup(1.0)
+        plan = MultiResourcePlan(
+            [MultiReservation(1.0, 1), MultiReservation(1.0, 4)], s
+        )  # coverage 1, 4
+        cm = MultiResourceCostModel(alpha0=1.0, alpha1=0.0, beta=0.0, gamma=0.0)
+        out = multi_costs_for_times(plan, np.array([2.0]), cm)
+        assert out[0] == pytest.approx(1.0 + 1.0)
+
+    def test_uncovered_raises(self):
+        s = PowerLawSpeedup(1.0)
+        plan = MultiResourcePlan([MultiReservation(1.0, 1)], s)
+        cm = MultiResourceCostModel()
+        with pytest.raises(ValueError, match="extend"):
+            multi_costs_for_times(plan, np.array([2.0]), cm)
+
+    def test_negative_work_rejected(self):
+        s = PowerLawSpeedup(1.0)
+        plan = MultiResourcePlan([MultiReservation(1.0, 1)], s)
+        with pytest.raises(ValueError, match="nonnegative"):
+            multi_costs_for_times(plan, np.array([-1.0]), MultiResourceCostModel())
+
+    def test_p1_matches_base_model(self):
+        """With a single processor and g(1)=1 the multi-resource cost equals
+        the paper's Eq. (2) cost."""
+        s = AmdahlSpeedup(0.3)
+        plan = MultiResourcePlan(
+            [MultiReservation(1.0, 1), MultiReservation(3.0, 1)], s
+        )
+        cm = MultiResourceCostModel(alpha0=0.5, alpha1=0.45, beta=1.0, gamma=0.2)
+        base = CostModel(alpha=0.95, beta=1.0, gamma=0.2)
+        works = np.array([0.5, 1.0, 2.5])
+        got = multi_costs_for_times(plan, works, cm)
+        want = [base.sequence_cost([1.0, 3.0], float(w)) for w in works]
+        np.testing.assert_allclose(got, want, rtol=1e-12)
+
+
+class TestDP:
+    def test_single_processor_reduces_to_theorem5(self):
+        """With |P| = {1}, the multi-resource DP must equal the base DP."""
+        d = DiscreteDistribution([1.0, 2.0, 4.0, 8.0], [0.25] * 4)
+        cm = MultiResourceCostModel(alpha0=0.6, alpha1=0.4, beta=0.5, gamma=0.2)
+        base_cm = CostModel(alpha=1.0, beta=0.5, gamma=0.2)
+        plan = solve_multiresource_dp(d, cm, AmdahlSpeedup(0.0), [1])
+        base = solve_discrete_dp(d, base_cm)
+        np.testing.assert_allclose(
+            [r.duration for r in plan.reservations], base.reservations
+        )
+
+    def test_matches_exhaustive_small(self, rng):
+        """DP equals brute-force enumeration over (subset, processor) plans."""
+        speedup = PowerLawSpeedup(0.7)
+        procs = [1, 4]
+        cm = MultiResourceCostModel(alpha0=0.4, alpha1=0.15, beta=0.8, gamma=0.1)
+        for _ in range(4):
+            n = int(rng.integers(2, 5))
+            v = np.sort(rng.uniform(0.5, 8.0, size=n))
+            if np.min(np.diff(v)) < 1e-6:
+                continue
+            f = rng.dirichlet(np.ones(n))
+            d = DiscreteDistribution(v, f)
+            plan = solve_multiresource_dp(d, cm, speedup, procs)
+            got = _plan_cost_discrete(plan, v, f, cm)
+
+            best = math.inf
+            for r in range(n):
+                for subset in itertools.combinations(range(n - 1), r):
+                    picks = list(subset) + [n - 1]
+                    for p_combo in itertools.product(procs, repeat=len(picks)):
+                        try:
+                            cand = MultiResourcePlan(
+                                [
+                                    MultiReservation(
+                                        float(v[j]) * speedup.g(p), p
+                                    )
+                                    for j, p in zip(picks, p_combo)
+                                ],
+                                speedup,
+                            )
+                        except ValueError:
+                            continue
+                        best = min(best, _plan_cost_discrete(cand, v, f, cm))
+            assert got == pytest.approx(best, rel=1e-9)
+
+    def test_processor_crossover(self):
+        """Cheap parallelism -> wide requests; expensive -> narrow."""
+        d = equal_probability(LogNormal(0.0, 0.8), 200, 1e-6)
+        speedup = AmdahlSpeedup(0.05)
+        cheap = solve_multiresource_dp(
+            d, MultiResourceCostModel(0.2, 0.01, beta=1.0, gamma=0.1), speedup
+        )
+        pricey = solve_multiresource_dp(
+            d, MultiResourceCostModel(0.2, 1.0, beta=1.0, gamma=0.1), speedup
+        )
+        assert max(r.processors for r in cheap.reservations) > max(
+            r.processors for r in pricey.reservations
+        )
+
+    def test_invalid_processor_choices(self):
+        d = DiscreteDistribution([1.0], [1.0])
+        with pytest.raises(ValueError):
+            solve_multiresource_dp(
+                d, MultiResourceCostModel(), AmdahlSpeedup(0.1), []
+            )
+        with pytest.raises(ValueError):
+            solve_multiresource_dp(
+                d, MultiResourceCostModel(), AmdahlSpeedup(0.1), [0, 2]
+            )
+
+
+class TestOmniscient:
+    def test_lower_bounds_dp(self):
+        d = LogNormal(0.0, 0.6)
+        disc = equal_probability(d, 300, 1e-6)
+        cm = MultiResourceCostModel(0.3, 0.1, beta=1.0, gamma=0.05)
+        speedup = AmdahlSpeedup(0.1)
+        procs = [1, 2, 4, 8]
+        plan = solve_multiresource_dp(disc, cm, speedup, procs)
+        mc = monte_carlo_multi_cost(plan, d, cm, n_samples=20_000, seed=0)
+        omn = omniscient_multi_cost(d, cm, speedup, procs)
+        assert mc >= omn - 1e-9
+        assert mc / omn < 3.0  # and within the usual normalized band
+
+
+def _plan_cost_discrete(plan, values, masses, cm) -> float:
+    total = 0.0
+    for w, p in zip(values, masses):
+        total += p * float(multi_costs_for_times(plan, np.array([w]), cm)[0])
+    return total

@@ -1,0 +1,149 @@
+"""Tests for the spot-instance economics extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import LogNormal
+from repro.extensions.spot import (
+    SpotModel,
+    expected_spot_time_checkpointed,
+    expected_spot_time_restart,
+    optimal_checkpoint_interval,
+    simulate_spot_run,
+)
+
+
+class TestRestartFormula:
+    def test_zero_rate_is_job_length(self):
+        assert expected_spot_time_restart(5.0, 0.0) == 5.0
+
+    def test_closed_form_values(self):
+        lam, t = 0.5, 2.0
+        assert expected_spot_time_restart(t, lam) == pytest.approx(
+            (math.exp(lam * t) - 1) / lam
+        )
+
+    def test_small_rate_limit(self):
+        """As lam -> 0, E[T] -> t."""
+        assert expected_spot_time_restart(3.0, 1e-9) == pytest.approx(3.0, rel=1e-6)
+
+    def test_exponential_blowup(self):
+        short = expected_spot_time_restart(1.0, 1.0)
+        long = expected_spot_time_restart(10.0, 1.0)
+        assert long / short > 1000.0
+
+    def test_overflow_returns_inf(self):
+        assert math.isinf(expected_spot_time_restart(1000.0, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_spot_time_restart(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            expected_spot_time_restart(1.0, -0.5)
+
+    def test_matches_monte_carlo(self):
+        """The renewal closed form equals the simulated mean."""
+        lam, t = 0.8, 1.5
+        rng_runs = [
+            simulate_spot_run(t, lam, seed=1000 + i) for i in range(20_000)
+        ]
+        expected = expected_spot_time_restart(t, lam)
+        se = np.std(rng_runs) / math.sqrt(len(rng_runs))
+        assert np.mean(rng_runs) == pytest.approx(expected, abs=5 * se)
+
+
+class TestCheckpointedFormula:
+    def test_segment_count(self):
+        # 5 hours in 2-hour segments -> 3 segments.
+        lam = 0.0
+        got = expected_spot_time_checkpointed(5.0, lam, 2.0, checkpoint_overhead=0.0)
+        assert got == pytest.approx(3 * 2.0)
+
+    def test_zero_length_job(self):
+        assert expected_spot_time_checkpointed(0.0, 1.0, 1.0) == 0.0
+
+    def test_checkpointing_beats_restart_for_long_jobs(self):
+        lam, t = 0.5, 20.0
+        restart = expected_spot_time_restart(t, lam)
+        ckpt = expected_spot_time_checkpointed(t, lam, 1.0, 0.05)
+        assert ckpt < restart / 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_spot_time_checkpointed(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            expected_spot_time_checkpointed(1.0, 1.0, 1.0, -0.1)
+
+
+class TestOptimalInterval:
+    def test_near_young_daly_for_small_overhead(self):
+        lam, C = 0.1, 0.01
+        tau = optimal_checkpoint_interval(lam, C)
+        daly = math.sqrt(2 * C / lam)
+        assert tau == pytest.approx(daly, rel=0.25)
+
+    def test_is_a_minimum(self):
+        lam, C = 0.5, 0.1
+        tau = optimal_checkpoint_interval(lam, C)
+
+        def per_work(x):
+            return math.expm1(lam * (x + C)) / (lam * x)
+
+        assert per_work(tau) <= per_work(tau * 0.7)
+        assert per_work(tau) <= per_work(tau * 1.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_checkpoint_interval(0.0, 0.1)
+        with pytest.raises(ValueError):
+            optimal_checkpoint_interval(0.1, 0.0)
+
+
+class TestSpotModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpotModel(price_per_hour=0.0)
+        with pytest.raises(ValueError):
+            SpotModel(interruption_rate=-1.0)
+
+    def test_expected_cost_restart_marginalizes(self):
+        d = LogNormal(0.0, 0.3)  # ~1h jobs
+        spot = SpotModel(price_per_hour=0.3, interruption_rate=0.1)
+        cost = spot.expected_cost_restart(d)
+        # Lower bound: price * E[X]; modest preemption inflation on top.
+        assert cost > 0.3 * d.mean()
+        assert cost < 0.3 * d.mean() * 1.3
+
+    def test_checkpointed_cheaper_for_heavy_jobs(self):
+        d = LogNormal(3.0, 0.4)  # ~22h jobs
+        spot = SpotModel(price_per_hour=0.3, interruption_rate=0.2)
+        restart = spot.expected_cost_restart(d)
+        ckpt = spot.expected_cost_checkpointed(d, 1.0, 0.05)
+        assert ckpt < restart
+
+
+class TestExperiment:
+    def test_crossover_shape(self):
+        from repro.experiments.common import ExperimentConfig
+        from repro.experiments.spot_exp import (
+            format_spot_experiment,
+            run_spot_experiment,
+        )
+
+        rows = run_spot_experiment(
+            mean_hours_sweep=(0.5, 24.0),
+            config=ExperimentConfig(n_discrete=150),
+        )
+        short, long = rows[0], rows[1]
+        assert short.winner == "spot"
+        assert long.winner in ("spot+ckpt", "reserved")
+        assert long.spot_restart_cost > long.reserved_cost
+        text = format_spot_experiment(rows)
+        assert "E7" in text and "winner" in text
+
+    def test_runner_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ext-spot" in EXPERIMENTS

@@ -1,0 +1,98 @@
+"""Tests for the RESERVATIONONLY and NEUROHPC platform models."""
+
+import math
+
+import pytest
+
+from repro.platforms.neurohpc import (
+    NeuroHPCPlatform,
+    scaled_workload,
+    vbmqa_hours_distribution,
+)
+from repro.platforms.reservation_only import ReservationOnlyPlatform
+from repro.platforms.waittime import WaitTimeModel
+
+
+class TestReservationOnlyPlatform:
+    def test_cost_model(self):
+        cm = ReservationOnlyPlatform().cost_model()
+        assert cm.is_reservation_only
+        assert cm.alpha == 1.0
+
+    def test_custom_price(self):
+        cm = ReservationOnlyPlatform(price_per_hour_reserved=2.5).cost_model()
+        assert cm.alpha == 2.5
+
+    def test_bad_price(self):
+        with pytest.raises(ValueError):
+            ReservationOnlyPlatform(price_per_hour_reserved=0.0)
+
+    def test_break_even_reserved_wins(self):
+        p = ReservationOnlyPlatform()
+        cmp = p.compare_with_on_demand(2.13, price_ratio=4.0)
+        assert cmp.reserved_wins
+        assert cmp.saving_fraction == pytest.approx(1 - 2.13 / 4.0)
+
+    def test_break_even_on_demand_wins(self):
+        p = ReservationOnlyPlatform()
+        cmp = p.compare_with_on_demand(4.5, price_ratio=4.0)
+        assert not cmp.reserved_wins
+        assert cmp.saving_fraction < 0
+
+    def test_exact_tie_counts_as_reserved(self):
+        assert ReservationOnlyPlatform().compare_with_on_demand(4.0, 4.0).reserved_wins
+
+    def test_invalid_inputs(self):
+        p = ReservationOnlyPlatform()
+        with pytest.raises(ValueError):
+            p.compare_with_on_demand(0.5)  # below omniscient: impossible
+        with pytest.raises(ValueError):
+            p.compare_with_on_demand(2.0, price_ratio=0.0)
+
+
+class TestNeuroHPC:
+    def test_cost_model_paper_values(self):
+        cm = NeuroHPCPlatform().cost_model()
+        assert (cm.alpha, cm.beta, cm.gamma) == (0.95, 1.0, 1.05)
+
+    def test_workload_in_hours(self):
+        d = NeuroHPCPlatform().workload()
+        # 1253.37 s ~ 0.3482 h (Section 5.3).
+        assert d.mean() == pytest.approx(0.3482, abs=0.001)
+        assert d.std() == pytest.approx(0.0717, abs=0.001)
+
+    def test_hours_distribution_mu_shift(self):
+        sec = 7.1128
+        d = vbmqa_hours_distribution()
+        assert d.mu == pytest.approx(sec - math.log(3600.0))
+        assert d.sigma == pytest.approx(0.2039)
+
+    def test_turnaround(self):
+        p = NeuroHPCPlatform(wait_model=WaitTimeModel(1.0, 2.0))
+        assert p.turnaround(4.0, 3.0) == pytest.approx((4.0 + 2.0) + 3.0)
+
+    def test_turnaround_killed_job_rejected(self):
+        p = NeuroHPCPlatform()
+        with pytest.raises(ValueError, match="killed"):
+            p.turnaround(1.0, 2.0)
+
+
+class TestScaledWorkload:
+    def test_identity_scale(self):
+        base = vbmqa_hours_distribution()
+        d = scaled_workload(1.0, 1.0)
+        assert d.mean() == pytest.approx(base.mean(), rel=1e-9)
+        assert d.std() == pytest.approx(base.std(), rel=1e-6)
+
+    @pytest.mark.parametrize("ms,ss", [(2.0, 2.0), (10.0, 1.0), (1.0, 10.0)])
+    def test_scales_moments_independently(self, ms, ss):
+        base = vbmqa_hours_distribution()
+        d = scaled_workload(ms, ss)
+        assert d.mean() == pytest.approx(base.mean() * ms, rel=1e-9)
+        assert d.std() == pytest.approx(base.std() * ss, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_workload(0.0, 1.0)
+        with pytest.raises(ValueError):
+            scaled_workload(1.0, -2.0)

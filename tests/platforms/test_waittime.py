@@ -1,0 +1,95 @@
+"""Tests for the wait-time model and Fig. 2 fitting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.platforms.waittime import (
+    INTREPID_409_MODEL,
+    QueueLog,
+    WaitTimeModel,
+    fit_wait_time,
+    synthesize_queue_log,
+)
+
+
+class TestWaitTimeModel:
+    def test_paper_parameters(self):
+        assert INTREPID_409_MODEL.slope == 0.95
+        assert INTREPID_409_MODEL.intercept == 1.05
+
+    def test_wait_affine(self):
+        m = WaitTimeModel(2.0, 1.0)
+        assert float(m.wait(3.0)) == pytest.approx(7.0)
+        np.testing.assert_allclose(m.wait(np.array([0.0, 1.0])), [1.0, 3.0])
+
+    def test_to_cost_model(self):
+        cm = INTREPID_409_MODEL.to_cost_model(beta=1.0)
+        assert (cm.alpha, cm.beta, cm.gamma) == (0.95, 1.0, 1.05)
+
+    @pytest.mark.parametrize("slope,intercept", [(-0.1, 1.0), (1.0, -0.1)])
+    def test_validation(self, slope, intercept):
+        with pytest.raises(ValueError):
+            WaitTimeModel(slope, intercept)
+
+
+class TestQueueLog:
+    def test_group_averages_shape(self):
+        log = synthesize_queue_log(n_jobs=400, seed=0)
+        xs, ys = log.group_averages(20)
+        assert xs.shape == ys.shape == (20,)
+        assert np.all(np.diff(xs) > 0)  # groups ordered by request size
+
+    def test_group_count_validation(self):
+        log = synthesize_queue_log(n_jobs=100, seed=1)
+        with pytest.raises(ValueError):
+            log.group_averages(0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            QueueLog(np.zeros(3), np.zeros(4))
+
+
+class TestSynthesize:
+    def test_reproducible(self):
+        a = synthesize_queue_log(n_jobs=100, seed=5)
+        b = synthesize_queue_log(n_jobs=100, seed=5)
+        np.testing.assert_array_equal(a.wait_hours, b.wait_hours)
+
+    def test_request_range(self):
+        log = synthesize_queue_log(n_jobs=500, max_request_hours=10.0, seed=2)
+        assert float(log.requested_hours.max()) <= 10.0
+        assert float(log.requested_hours.min()) >= 0.1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_jobs": 1},
+            {"max_request_hours": 0.0},
+            {"noise_fraction": 1.0},
+            {"noise_fraction": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            synthesize_queue_log(**kwargs)
+
+
+class TestFit:
+    def test_recovers_ground_truth(self):
+        truth = WaitTimeModel(0.95, 1.05)
+        log = synthesize_queue_log(truth, n_jobs=20_000, noise_fraction=0.1, seed=3)
+        fit = fit_wait_time(log)
+        assert fit.slope == pytest.approx(truth.slope, rel=0.1)
+        assert fit.intercept == pytest.approx(truth.intercept, abs=0.3)
+
+    def test_noiseless_exact(self):
+        truth = WaitTimeModel(1.4, 0.8)
+        log = synthesize_queue_log(truth, n_jobs=2000, noise_fraction=1e-9, seed=4)
+        fit = fit_wait_time(log)
+        assert fit.slope == pytest.approx(1.4, rel=1e-3)
+        assert fit.intercept == pytest.approx(0.8, abs=1e-2)
+
+    def test_single_group_rejected(self):
+        log = synthesize_queue_log(n_jobs=50, seed=5)
+        with pytest.raises(ValueError, match="two groups"):
+            fit_wait_time(log, n_groups=1)

@@ -1,0 +1,105 @@
+"""Fuzz: strategies must produce valid, lower-bounded plans for *random*
+distribution parameters (not just the Table 1 instantiations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Beta,
+    BoundedPareto,
+    CostModel,
+    EqualProbabilityDP,
+    Exponential,
+    Gamma,
+    LogNormal,
+    MeanByMean,
+    MeanDoubling,
+    MedianByMedian,
+    Pareto,
+    TruncatedNormal,
+    Uniform,
+    Weibull,
+)
+from repro.simulation.evaluator import evaluate_on_samples
+
+random_distributions = st.one_of(
+    st.builds(Exponential, st.floats(min_value=0.05, max_value=20.0)),
+    st.builds(
+        Weibull,
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.45, max_value=4.0),
+    ),
+    st.builds(
+        Gamma,
+        st.floats(min_value=0.3, max_value=8.0),
+        st.floats(min_value=0.1, max_value=8.0),
+    ),
+    st.builds(
+        LogNormal,
+        st.floats(min_value=-2.0, max_value=4.0),
+        st.floats(min_value=0.05, max_value=1.5),
+    ),
+    st.builds(
+        TruncatedNormal,
+        st.floats(min_value=1.0, max_value=20.0),
+        st.floats(min_value=0.25, max_value=16.0),
+        st.just(0.0),
+    ),
+    st.builds(
+        Pareto,
+        st.floats(min_value=0.2, max_value=5.0),
+        st.floats(min_value=2.3, max_value=8.0),
+    ),
+    st.builds(
+        Uniform,
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=6.0, max_value=50.0),
+    ),
+    st.builds(
+        Beta,
+        st.floats(min_value=0.5, max_value=6.0),
+        st.floats(min_value=0.5, max_value=6.0),
+    ),
+    st.builds(
+        BoundedPareto,
+        st.just(1.0),
+        st.floats(min_value=3.0, max_value=100.0),
+        st.floats(min_value=1.2, max_value=4.0),
+    ),
+)
+
+cost_models = st.builds(
+    CostModel,
+    alpha=st.floats(min_value=0.1, max_value=3.0),
+    beta=st.floats(min_value=0.0, max_value=2.0),
+    gamma=st.floats(min_value=0.0, max_value=2.0),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(dist=random_distributions, cm=cost_models, seed=st.integers(0, 10_000))
+@pytest.mark.parametrize(
+    "strategy_factory",
+    [MeanByMean, MeanDoubling, MedianByMedian, lambda: EqualProbabilityDP(n=60)],
+    ids=["mean_by_mean", "mean_doubling", "median_by_median", "dp"],
+)
+def test_fuzz_strategy_plans_are_sound(strategy_factory, dist, cm, seed):
+    """For any parameters: the sequence is strictly increasing, covers the
+    sampled jobs, and its realized mean cost is at least the omniscient
+    bound on the same samples."""
+    strategy = strategy_factory()
+    sequence = strategy.sequence(dist, cm)
+    samples = dist.rvs(200, seed=seed)
+    record = evaluate_on_samples(sequence, dist, cm, samples)
+
+    values = sequence.values
+    assert np.all(np.diff(values) > 0)
+    assert values[0] > 0
+    assert sequence.last >= float(samples.max())
+
+    omniscient_mean = float(
+        ((cm.alpha + cm.beta) * samples + cm.gamma).mean()
+    )
+    assert record.expected_cost >= omniscient_mean - 1e-9

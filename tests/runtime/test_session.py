@@ -1,0 +1,115 @@
+"""Tests for the online reservation session."""
+
+import pytest
+
+from repro import CostModel, Exponential, LogNormal, MeanByMean, ReservationSequence
+from repro.runtime.session import (
+    AttemptOutcome,
+    ReservationSession,
+    SessionError,
+    execute,
+)
+
+
+def make_session(values=(2.0, 5.0, 11.0), alpha=1.0, beta=1.0, gamma=0.5):
+    return ReservationSession(
+        ReservationSequence(list(values)), CostModel(alpha=alpha, beta=beta, gamma=gamma)
+    )
+
+
+class TestProtocol:
+    def test_happy_path_first_attempt(self):
+        s = make_session()
+        req = s.next_request()
+        assert req == 2.0
+        attempt = s.report_success(1.5)
+        assert attempt.outcome is AttemptOutcome.SUCCESS
+        assert s.is_done
+        assert s.total_cost == pytest.approx(2.0 + 1.5 + 0.5)
+
+    def test_failure_then_success(self):
+        s = make_session()
+        s.next_request()
+        s.report_failure()
+        assert s.last_failed_length == 2.0
+        req = s.next_request()
+        assert req == 5.0
+        s.report_success(3.0)
+        # failed: (1+1)*2 + 0.5 = 4.5; success: 5 + 3 + 0.5 = 8.5
+        assert s.total_cost == pytest.approx(13.0)
+        assert s.n_attempts == 2
+
+    def test_cannot_report_without_request(self):
+        s = make_session()
+        with pytest.raises(SessionError, match="no outstanding"):
+            s.report_failure()
+
+    def test_cannot_request_twice(self):
+        s = make_session()
+        s.next_request()
+        with pytest.raises(SessionError, match="outstanding"):
+            s.next_request()
+
+    def test_cannot_continue_after_done(self):
+        s = make_session()
+        s.next_request()
+        s.report_success(1.0)
+        with pytest.raises(SessionError, match="completed"):
+            s.next_request()
+
+    def test_success_must_fit_reservation(self):
+        s = make_session()
+        s.next_request()
+        with pytest.raises(SessionError, match="cannot have succeeded"):
+            s.report_success(3.0)  # request was 2.0
+
+    def test_negative_runtime_rejected(self):
+        s = make_session()
+        s.next_request()
+        with pytest.raises(SessionError, match="negative"):
+            s.report_success(-1.0)
+
+    def test_extends_lazy_sequences(self):
+        d = Exponential(1.0)
+        cm = CostModel.reservation_only()
+        session = ReservationSession(MeanByMean().sequence(d, cm), cm)
+        for _ in range(5):
+            session.next_request()
+            session.report_failure()
+        assert session.n_attempts == 5
+
+
+class TestExecute:
+    def test_matches_eq2(self):
+        """Online accounting == the closed-form C(k, t)."""
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel(alpha=0.95, beta=1.0, gamma=1.05)
+        seq = MeanByMean().sequence(d, cm)
+        ref_seq = MeanByMean().sequence(d, cm)
+        for t in [5.0, 25.0, 60.0, 150.0]:
+            session = ReservationSession(MeanByMean().sequence(d, cm), cm)
+            got = execute(session, t)
+            ref_seq.ensure_covers(t)
+            assert got == pytest.approx(cm.sequence_cost(ref_seq.values, t))
+
+    def test_attempt_count_matches_index(self):
+        cm = CostModel.reservation_only()
+        session = ReservationSession(ReservationSequence([1.0, 2.0, 4.0]), cm)
+        execute(session, 3.0)
+        assert session.n_attempts == 3
+        outcomes = [a.outcome for a in session.attempts]
+        assert outcomes[:2] == [AttemptOutcome.FAILURE, AttemptOutcome.FAILURE]
+        assert outcomes[2] is AttemptOutcome.SUCCESS
+
+    def test_negative_time_rejected(self):
+        s = make_session()
+        with pytest.raises(ValueError):
+            execute(s, -1.0)
+
+    def test_attempt_cap(self):
+        cm = CostModel.reservation_only()
+        session = ReservationSession(
+            ReservationSequence([1.0], extend=lambda v: float(v[-1]) + 1.0), cm
+        )
+        with pytest.raises(RuntimeError, match="attempts"):
+            execute(session, 100.0, max_attempts=10)

@@ -1,0 +1,103 @@
+"""Stateful (model-based) hypothesis test of the session protocol.
+
+Drives random but protocol-legal interactions against ReservationSession and
+checks, at every step, that its accounting matches an independently
+maintained reference model of Eq. (2).
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence
+from repro.runtime.session import AttemptOutcome, ReservationSession
+
+
+class SessionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cost_model = CostModel(alpha=1.0, beta=0.7, gamma=0.3)
+        self.session = ReservationSession(
+            ReservationSequence([1.0], extend=lambda v: float(v[-1]) * 1.7),
+            self.cost_model,
+        )
+        self.expected_total = 0.0
+        self.pending = None
+        self.done = False
+
+    # ------------------------------------------------------------------
+    @precondition(lambda self: not self.done and self.pending is None)
+    @rule()
+    def request(self):
+        self.pending = self.session.next_request()
+        assert self.pending > 0
+
+    @precondition(lambda self: self.pending is not None)
+    @rule()
+    def fail(self):
+        attempt = self.session.report_failure()
+        assert attempt.outcome is AttemptOutcome.FAILURE
+        self.expected_total += (
+            (self.cost_model.alpha + self.cost_model.beta) * self.pending
+            + self.cost_model.gamma
+        )
+        self.pending = None
+
+    @precondition(lambda self: self.pending is not None)
+    @rule(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def succeed(self, fraction):
+        runtime = self.pending * fraction
+        attempt = self.session.report_success(runtime)
+        assert attempt.outcome is AttemptOutcome.SUCCESS
+        self.expected_total += (
+            self.cost_model.alpha * self.pending
+            + self.cost_model.beta * runtime
+            + self.cost_model.gamma
+        )
+        self.pending = None
+        self.done = True
+
+    @precondition(lambda self: self.done)
+    @rule()
+    def idle_after_completion(self):
+        """Terminal state: the session stays done and rejects new requests."""
+        import pytest
+
+        from repro.runtime.session import SessionError
+
+        with pytest.raises(SessionError):
+            self.session.next_request()
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def accounting_matches_model(self):
+        assert math.isclose(
+            self.session.total_cost, self.expected_total, rel_tol=1e-12, abs_tol=1e-12
+        )
+
+    @invariant()
+    def attempt_count_consistent(self):
+        assert self.session.n_attempts == len(self.session.attempts)
+
+    @invariant()
+    def requests_strictly_increase(self):
+        reqs = [a.requested for a in self.session.attempts]
+        assert all(b > a for a, b in zip(reqs, reqs[1:]))
+
+    @invariant()
+    def done_flag_consistent(self):
+        assert self.session.is_done == self.done
+
+
+TestSessionMachine = SessionMachine.TestCase
+TestSessionMachine.settings = settings(
+    max_examples=50, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,73 @@
+"""Tests for the omniscient baseline and the strategy registry."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BruteForce,
+    CostModel,
+    Exponential,
+    MeanByMean,
+    Omniscient,
+    ReservationSequence,
+    make_strategy,
+    paper_strategies,
+)
+from repro.simulation.monte_carlo import costs_for_times
+from repro.strategies.registry import PAPER_STRATEGY_ORDER
+
+
+class TestOmniscient:
+    def test_expected_cost_formula(self):
+        d = Exponential(2.0)
+        cm = CostModel(alpha=0.95, beta=1.0, gamma=1.05)
+        assert Omniscient().expected_cost(d, cm) == pytest.approx(1.95 * 0.5 + 1.05)
+
+    def test_per_job_costs(self):
+        cm = CostModel(alpha=1.0, beta=1.0, gamma=0.5)
+        out = Omniscient().costs_for_times(np.array([1.0, 2.0]), cm)
+        np.testing.assert_allclose(out, [2.5, 4.5])
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            Omniscient().costs_for_times(np.array([-1.0]), CostModel())
+
+    def test_pointwise_lower_bound(self, any_distribution, any_cost_model, rng):
+        """Every real strategy costs at least the omniscient cost per job."""
+        samples = any_distribution.rvs(300, seed=rng)
+        seq = MeanByMean().sequence(any_distribution, any_cost_model)
+        real = costs_for_times(seq, samples, any_cost_model)
+        clairvoyant = Omniscient().costs_for_times(samples, any_cost_model)
+        assert np.all(real >= clairvoyant - 1e-9)
+
+
+class TestRegistry:
+    def test_paper_lineup_order(self):
+        strategies = paper_strategies(m_grid=10, n_discrete=10)
+        assert list(strategies) == PAPER_STRATEGY_ORDER
+
+    def test_hyperparameters_forwarded(self):
+        s = paper_strategies(m_grid=123, n_samples=77, n_discrete=55, epsilon=1e-3)
+        assert s["brute_force"].m_grid == 123
+        assert s["brute_force"].n_samples == 77
+        assert s["equal_time_dp"].n == 55
+        assert s["equal_time_dp"].epsilon == 1e-3
+
+    def test_make_strategy(self):
+        s = make_strategy("brute-force", m_grid=11)
+        assert isinstance(s, BruteForce)
+        assert s.m_grid == 11
+
+    def test_make_strategy_unknown(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            make_strategy("quantum_annealing")
+
+    def test_every_strategy_produces_valid_sequence(
+        self, any_distribution, reservation_only
+    ):
+        for name, strategy in paper_strategies(
+            m_grid=30, n_samples=100, n_discrete=30, seed=0
+        ).items():
+            seq = strategy.sequence(any_distribution, reservation_only)
+            assert isinstance(seq, ReservationSequence)
+            assert np.all(np.diff(seq.values) > 0), name

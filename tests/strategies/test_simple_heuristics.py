@@ -1,0 +1,145 @@
+"""Tests for the four standard-measure heuristics (Section 4.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    CostModel,
+    Exponential,
+    LogNormal,
+    MeanByMean,
+    MeanDoubling,
+    MeanStdev,
+    MedianByMedian,
+    Pareto,
+    Uniform,
+)
+
+
+class TestMeanByMean:
+    def test_exponential_arithmetic_ladder(self):
+        """Memorylessness: t_i = i * mean (Table 6 row 1)."""
+        seq = MeanByMean().sequence(Exponential(2.0), CostModel.reservation_only())
+        seq.ensure_covers(3.0)
+        np.testing.assert_allclose(seq.values[:6], 0.5 * np.arange(1, 7), rtol=1e-9)
+
+    def test_pareto_geometric_ladder(self):
+        """Theorem 10: t_i = (alpha/(alpha-1)) t_{i-1}."""
+        seq = MeanByMean().sequence(Pareto(1.5, 3.0), CostModel.reservation_only())
+        seq.ensure_covers(10.0)
+        v = seq.values
+        ratios = v[1:] / v[:-1]
+        np.testing.assert_allclose(ratios, 1.5, rtol=1e-9)
+
+    def test_uniform_converges_to_b_then_closes(self):
+        """t_i = (b + t_{i-1})/2 -> b; the sequence must end exactly at b."""
+        d = Uniform(10.0, 20.0)
+        seq = MeanByMean().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(20.0 - 1e-12)
+        assert seq.last == 20.0
+
+    def test_first_is_mean(self, any_distribution):
+        seq = MeanByMean().sequence(any_distribution, CostModel.reservation_only())
+        assert seq.first == pytest.approx(
+            min(any_distribution.mean(), any_distribution.upper)
+        )
+
+    def test_strictly_increasing(self, any_distribution):
+        seq = MeanByMean().sequence(any_distribution, CostModel.reservation_only())
+        q = float(any_distribution.quantile(0.999))
+        seq.ensure_covers(q)
+        assert np.all(np.diff(seq.values) > 0)
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError):
+            MeanByMean(initial_length=0)
+
+
+class TestMeanStdev:
+    def test_arithmetic_progression(self):
+        d = LogNormal(3.0, 0.5)
+        seq = MeanStdev().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(d.mean() + 5 * d.std())
+        diffs = np.diff(seq.values)
+        np.testing.assert_allclose(diffs, d.std(), rtol=1e-9)
+
+    def test_bounded_clipped_at_b(self):
+        d = Uniform(10.0, 20.0)
+        seq = MeanStdev().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(19.99)
+        assert seq.last == 20.0
+        assert np.all(seq.values <= 20.0)
+
+    def test_first_is_mean(self, any_distribution):
+        seq = MeanStdev().sequence(any_distribution, CostModel.reservation_only())
+        assert seq.first == pytest.approx(any_distribution.mean())
+
+
+class TestMeanDoubling:
+    def test_geometric_progression(self):
+        d = Exponential(1.0)
+        seq = MeanDoubling().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(30.0)
+        np.testing.assert_allclose(
+            seq.values[:6], [1.0, 2.0, 4.0, 8.0, 16.0, 32.0], rtol=1e-9
+        )
+
+    def test_custom_factor(self):
+        d = Exponential(1.0)
+        seq = MeanDoubling(factor=3.0).sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(10.0)
+        assert seq.values[1] == pytest.approx(3.0)
+
+    def test_bounded_clipped(self):
+        d = Uniform(10.0, 20.0)
+        seq = MeanDoubling().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(19.0)
+        assert seq.last == 20.0
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            MeanDoubling(factor=1.0)
+
+    def test_logarithmic_length(self):
+        """Covering T needs O(log T) reservations."""
+        d = Exponential(1.0)
+        seq = MeanDoubling().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(1e6)
+        assert len(seq) <= 25
+
+
+class TestMedianByMedian:
+    def test_quantile_ladder(self):
+        d = Exponential(1.0)
+        seq = MedianByMedian().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(5.0)
+        for i, v in enumerate(seq.values[:6], start=1):
+            assert v == pytest.approx(float(d.quantile(1 - 0.5**i)), rel=1e-9)
+
+    def test_exponential_is_arithmetic_in_log(self):
+        """For Exp(1), Q(1-2^-i) = i ln 2: an arithmetic ladder."""
+        seq = MedianByMedian().sequence(Exponential(1.0), CostModel.reservation_only())
+        seq.ensure_covers(4.0)
+        np.testing.assert_allclose(
+            np.diff(seq.values), math.log(2.0), rtol=1e-9
+        )
+
+    def test_first_is_median(self, any_distribution):
+        seq = MedianByMedian().sequence(any_distribution, CostModel.reservation_only())
+        assert seq.first == pytest.approx(any_distribution.median())
+
+    def test_bounded_closes_at_b(self):
+        d = Uniform(10.0, 20.0)
+        seq = MedianByMedian().sequence(d, CostModel.reservation_only())
+        seq.ensure_covers(20.0 - 1e-9)
+        assert seq.last <= 20.0
+
+    def test_deep_coverage_unbounded(self):
+        """Extension must keep covering far tails without stalling."""
+        d = LogNormal(3.0, 0.5)
+        seq = MedianByMedian().sequence(d, CostModel.reservation_only())
+        target = float(d.quantile(1 - 1e-9))
+        seq.ensure_covers(target)
+        assert seq.last >= target

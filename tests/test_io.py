@@ -1,0 +1,105 @@
+"""Tests for plan serialization (repro.io)."""
+
+import json
+
+import pytest
+
+from repro import CostModel, LogNormal, MeanByMean, ReservationSequence
+from repro.io import FORMAT_VERSION, PlanDocument, plan_from_json, plan_to_json
+
+
+def make_doc(**overrides):
+    base = dict(
+        reservations=[1.0, 2.0, 4.0],
+        cost_model={"alpha": 1.0, "beta": 0.5, "gamma": 0.1},
+        strategy="mean_by_mean",
+        distribution={"name": "lognormal"},
+        statistics={"expected_cost": 3.2},
+        notes="test",
+    )
+    base.update(overrides)
+    return PlanDocument(**base)
+
+
+class TestDocument:
+    def test_roundtrip(self):
+        doc = make_doc()
+        loaded = plan_from_json(plan_to_json(doc))
+        assert loaded == doc
+
+    def test_from_sequence(self):
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel.neurohpc()
+        seq = MeanByMean().sequence(d, cm)
+        seq.ensure_covers(float(d.quantile(0.99)))
+        doc = PlanDocument.from_sequence(seq, cm, strategy="mean_by_mean")
+        assert doc.reservations[0] == pytest.approx(seq.first)
+        assert doc.to_cost_model() == cm
+
+    def test_to_sequence(self):
+        doc = make_doc()
+        seq = doc.to_sequence()
+        assert isinstance(seq, ReservationSequence)
+        assert list(seq.values) == [1.0, 2.0, 4.0]
+        assert not seq.is_extensible  # extenders are not serialized
+
+    @pytest.mark.parametrize(
+        "overrides,match",
+        [
+            ({"reservations": []}, "at least one"),
+            ({"reservations": [2.0, 1.0]}, "increasing"),
+            ({"cost_model": {"alpha": 1.0}}, "missing"),
+        ],
+    )
+    def test_validation(self, overrides, match):
+        with pytest.raises(ValueError, match=match):
+            make_doc(**overrides)
+
+
+class TestJson:
+    def test_json_is_stable_and_sorted(self):
+        text = plan_to_json(make_doc())
+        raw = json.loads(text)
+        assert raw["version"] == FORMAT_VERSION
+        assert list(raw) == sorted(raw)
+
+    def test_bad_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            plan_from_json("{nope")
+
+    def test_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            plan_from_json("[1, 2, 3]")
+
+    def test_wrong_version(self):
+        raw = json.loads(plan_to_json(make_doc()))
+        raw["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            plan_from_json(json.dumps(raw))
+
+    def test_missing_field(self):
+        raw = json.loads(plan_to_json(make_doc()))
+        del raw["strategy"]
+        with pytest.raises(ValueError, match="malformed"):
+            plan_from_json(json.dumps(raw))
+
+    def test_optional_fields_default(self):
+        raw = json.loads(plan_to_json(make_doc()))
+        del raw["notes"]
+        del raw["statistics"]
+        doc = plan_from_json(json.dumps(raw))
+        assert doc.notes == ""
+        assert doc.statistics == {}
+
+
+class TestCliIntegration:
+    def test_cli_writes_plan(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "plan.json"
+        assert main(["--distribution", "exponential", "--param", "rate=1",
+                     "--strategy", "mean_doubling", "--output", str(out)]) == 0
+        doc = plan_from_json(out.read_text())
+        assert doc.strategy == "mean_doubling"
+        assert doc.statistics["expected_cost"] > 0
+        assert "Plan written" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Tests for the terminal plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.ascii_plot import bar_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0], width=4)
+        assert line == "▁▃▆█"
+
+    def test_constant_series(self):
+        assert sparkline([2.0, 2.0, 2.0], width=3) == "▁▁▁"
+
+    def test_gaps_render_as_dots(self):
+        line = sparkline([1.0, None, 3.0], width=3)
+        assert line[1] == "·"
+        assert line[0] != "·" and line[2] != "·"
+
+    def test_nan_treated_as_gap(self):
+        line = sparkline([1.0, math.nan, 3.0], width=3)
+        assert line[1] == "·"
+
+    def test_all_gaps(self):
+        assert sparkline([None, None], width=2) == "··"
+
+    def test_empty(self):
+        assert sparkline([], width=10) == ""
+
+    def test_resampling_long_series(self):
+        values = list(range(1000))
+        line = sparkline(values, width=20)
+        assert len(line) == 20
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    def test_resampling_preserves_gap_buckets(self):
+        values = [1.0] * 10 + [None] * 10 + [2.0] * 10
+        line = sparkline(values, width=3)
+        assert line[1] == "·"
+
+
+class TestBarChart:
+    def test_basic(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  |")
+        assert lines[1].count("█") == 10  # max value gets full width
+        assert lines[0].count("█") == 5
+
+    def test_unit_suffix(self):
+        out = bar_chart(["x"], [1.5], width=4, unit="h")
+        assert "1.5h" in out
+
+    def test_label_alignment(self):
+        out = bar_chart(["short", "a-much-longer-label"], [1.0, 1.0])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="labels"):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            bar_chart(["a"], [0.0])
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)

@@ -1,0 +1,59 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passes_through(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        g = as_generator(seq)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="negative"):
+            spawn_generators(0, -1)
+
+    def test_children_independent(self):
+        a, b = spawn_generators(123, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_reproducible_from_same_seed(self):
+        xs = [g.random(4) for g in spawn_generators(9, 3)]
+        ys = [g.random(4) for g in spawn_generators(9, 3)]
+        for x, y in zip(xs, ys):
+            np.testing.assert_array_equal(x, y)
+
+    def test_from_generator(self):
+        g = np.random.default_rng(5)
+        children = spawn_generators(g, 2)
+        assert len(children) == 2
+
+    def test_from_seed_sequence(self):
+        children = spawn_generators(np.random.SeedSequence(1), 3)
+        assert len(children) == 3

@@ -1,0 +1,59 @@
+"""Tests for repro.utils.tables."""
+
+import math
+
+import pytest
+
+from repro.utils.tables import format_csv, format_float, format_table
+
+
+class TestFormatFloat:
+    def test_basic(self):
+        assert format_float(1.234) == "1.23"
+
+    def test_digits(self):
+        assert format_float(1.23456, digits=4) == "1.2346"
+
+    def test_none_becomes_dash(self):
+        assert format_float(None) == "-"
+
+    def test_nan_and_inf(self):
+        assert format_float(math.nan) == "-"
+        assert format_float(math.inf) == "-"
+
+    def test_custom_dash(self):
+        assert format_float(None, dash="n/a") == "n/a"
+
+
+class TestFormatTable:
+    def test_contains_cells_and_title(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+        assert out.startswith("T\n")
+        assert "1" in out and "4" in out
+
+    def test_header_rule_present(self):
+        out = format_table(["col"], [["x"]])
+        assert "---" in out
+
+    def test_column_alignment(self):
+        out = format_table(["name", "v"], [["long-name", 1], ["s", 22]])
+        lines = out.splitlines()
+        # All data rows align the second column at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatCsv:
+    def test_basic(self):
+        out = format_csv(["x", "y"], [(1, 2), (3, 4)])
+        assert out.splitlines() == ["x,y", "1,2", "3,4"]
+
+    def test_empty(self):
+        assert format_csv(["x"], []) == "x"
