@@ -4,7 +4,17 @@ These time the primitives the experiment harness leans on: the vectorized
 Monte-Carlo cost engine, the O(n^2) Theorem 5 DP, Eq. (11) sequence
 generation, and the Theorem 1 series evaluator.  They guard against
 accidental de-vectorization (the hpc-parallel guides' main failure mode).
+
+A full run also writes its timings to ``BENCH_core.json`` at the repo root
+(override with the ``BENCH_CORE_JSON`` env var), so successive PRs leave a
+comparable trajectory of the core numbers.
 """
+
+import json
+import os
+import time
+
+import pytest
 
 import numpy as np
 
@@ -21,6 +31,38 @@ from repro.core.sequence import constant_extender
 from repro.discretization import equal_probability
 from repro.simulation.monte_carlo import costs_for_times
 
+_TIMINGS = {}
+
+
+def _record(name, benchmark):
+    """Capture a benchmark's summary stats for the BENCH_core.json dump."""
+    meta = getattr(benchmark, "stats", None)
+    if meta is None:  # --benchmark-disable: nothing was measured
+        return
+    stats = meta.stats
+    _TIMINGS[name] = {
+        "mean_s": stats.mean,
+        "stddev_s": stats.stddev,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "rounds": stats.rounds,
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_timings():
+    """After the module's benchmarks finish, persist the collected timings."""
+    yield
+    if not _TIMINGS:
+        return
+    default = os.path.join(os.path.dirname(__file__), "..", "BENCH_core.json")
+    path = os.environ.get("BENCH_CORE_JSON", default)
+    payload = {"generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+               "benchmarks": _TIMINGS}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
 
 def test_monte_carlo_engine_100k(benchmark):
     """Vectorized costing of 100k samples against a 30-step ladder."""
@@ -33,6 +75,7 @@ def test_monte_carlo_engine_100k(benchmark):
     out = benchmark(costs_for_times, seq, times, cm)
     assert out.shape == times.shape
     assert float(out.min()) > 0
+    _record("monte_carlo_engine_100k", benchmark)
 
 
 def test_discrete_dp_n1000(benchmark):
@@ -43,6 +86,7 @@ def test_discrete_dp_n1000(benchmark):
 
     result = benchmark(solve_discrete_dp, discrete, cm)
     assert result.reservations[-1] == discrete.values[-1]
+    _record("discrete_dp_n1000", benchmark)
 
 
 def test_eq11_sequence_generation(benchmark):
@@ -52,6 +96,7 @@ def test_eq11_sequence_generation(benchmark):
 
     values = benchmark(generate_optimal_sequence, 30.64, d, cm)
     assert len(values) >= 3
+    _record("eq11_sequence_generation", benchmark)
 
 
 def test_series_evaluator(benchmark):
@@ -65,6 +110,7 @@ def test_series_evaluator(benchmark):
 
     cost = benchmark(run)
     assert cost > 0
+    _record("series_evaluator", benchmark)
 
 
 def test_sampling_inverse_transform_1m(benchmark):
@@ -72,3 +118,4 @@ def test_sampling_inverse_transform_1m(benchmark):
     d = LogNormal(3.0, 0.5)
     out = benchmark(d.rvs, 1_000_000, 42)
     assert out.shape == (1_000_000,)
+    _record("sampling_inverse_transform_1m", benchmark)

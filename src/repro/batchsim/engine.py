@@ -17,6 +17,7 @@ from typing import Deque, Iterable, List
 from repro.batchsim.cluster import Cluster
 from repro.batchsim.job import Job, JobState
 from repro.batchsim.schedulers import EasyBackfillScheduler, Scheduler
+from repro.observability import metrics, tracing
 
 __all__ = ["SimulationResult", "simulate"]
 
@@ -109,25 +110,44 @@ def simulate(
             for new_job in on_finish(job, now) or ():
                 submit(new_job, now)
 
-    while events:
-        now, kind, _, job = heapq.heappop(events)
-        makespan = max(makespan, now)
-        if kind == _SUBMIT:
-            queue.append(job)
-        else:
-            handle_finish(job, now)
-        # Drain every simultaneous event before scheduling, so the scheduler
-        # sees the complete state at time `now`.
-        while events and events[0][0] == now:
-            now2, kind2, _, job2 = heapq.heappop(events)
-            if kind2 == _SUBMIT:
-                queue.append(job2)
+    n_events = 0
+    n_schedules = 0
+    with tracing.span(
+        "batchsim.simulate",
+        scheduler=scheduler.name,
+        total_nodes=total_nodes,
+        n_jobs=len(job_list),
+    ) as sp, metrics.timer("batchsim.simulate"):
+        while events:
+            now, kind, _, job = heapq.heappop(events)
+            n_events += 1
+            makespan = max(makespan, now)
+            if kind == _SUBMIT:
+                queue.append(job)
             else:
-                handle_finish(job2, now2)
-        for started in scheduler.schedule(queue, cluster, now):
-            end = now + started.runs_for
-            heapq.heappush(events, (end, _FINISH, next(counter), started))
-            makespan = max(makespan, end)
+                handle_finish(job, now)
+            # Drain every simultaneous event before scheduling, so the
+            # scheduler sees the complete state at time `now`.
+            while events and events[0][0] == now:
+                now2, kind2, _, job2 = heapq.heappop(events)
+                n_events += 1
+                if kind2 == _SUBMIT:
+                    queue.append(job2)
+                else:
+                    handle_finish(job2, now2)
+            metrics.observe("batchsim.queue_depth", len(queue))
+            n_schedules += 1
+            for started in scheduler.schedule(queue, cluster, now):
+                end = now + started.runs_for
+                heapq.heappush(events, (end, _FINISH, next(counter), started))
+                makespan = max(makespan, end)
+        metrics.inc("batchsim.events", n_events)
+        metrics.inc("batchsim.scheduler_invocations", n_schedules)
+        metrics.inc("batchsim.jobs", len(all_jobs))
+        if sp is not None:
+            sp.set("events", n_events)
+            sp.set("scheduler_invocations", n_schedules)
+            sp.set("makespan", makespan)
 
     if queue:
         stuck = [j.job_id for j in queue]

@@ -18,6 +18,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro import observability as obs
 from repro.core.cost import CostModel
 from repro.distributions.fitting import fit_lognormal
 from repro.distributions.registry import make_distribution
@@ -26,6 +27,15 @@ from repro.strategies.registry import PAPER_STRATEGY_ORDER, make_strategy
 from repro.utils.tables import format_table
 
 __all__ = ["main"]
+
+#: Counters promised in the metrics JSON even when a run never touches the
+#: corresponding code path (e.g. a closed-form strategy never iterates the
+#: Eq. (11) recurrence).
+_PROMISED_COUNTERS = (
+    "recurrence.iterations",
+    "mc.samples",
+    "sequence.extensions",
+)
 
 
 def _parse_params(pairs) -> Dict[str, float]:
@@ -86,7 +96,35 @@ def main(argv=None) -> int:
         default=None,
         help="also write the plan as a JSON document to FILE",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree and per-phase timing table of this run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the run's metrics registry as JSON to FILE",
+    )
     args = parser.parse_args(argv)
+
+    # Every CLI run doubles as a smoke benchmark: metrics and tracing are on
+    # for the duration of main() (library defaults stay off).
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    registry = obs.get_registry()
+    registry.reset()
+    for name in _PROMISED_COUNTERS:
+        registry.counter(name)
+    try:
+        return _run(args, registry)
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+
+def _run(args, registry) -> int:
 
     # ------------------------------------------------------------------
     # Workload
@@ -114,17 +152,25 @@ def main(argv=None) -> int:
     # ------------------------------------------------------------------
     # Plan
     # ------------------------------------------------------------------
-    strategy_kwargs = {"seed": args.seed} if args.strategy == "brute_force" else {}
-    strategy = make_strategy(args.strategy, **strategy_kwargs)
-    sequence = strategy.sequence(dist, cost_model)
     if not (0.0 < args.coverage < 1.0):
         raise SystemExit("--coverage must lie strictly between 0 and 1")
-    sequence.ensure_covers(float(dist.quantile(args.coverage)))
+    strategy_kwargs = {"seed": args.seed} if args.strategy == "brute_force" else {}
+    strategy = make_strategy(args.strategy, **strategy_kwargs)
+    with obs.span(
+        "repro-plan", strategy=strategy.name, distribution=dist.name
+    ) as root:
+        sequence = strategy.sequence(dist, cost_model)
+        with obs.span("plan.coverage"), registry.timer("cli.coverage"):
+            sequence.ensure_covers(float(dist.quantile(args.coverage)))
 
-    pmf_seq = strategy.sequence(dist, cost_model)
-    stats_seq = strategy.sequence(dist, cost_model)
-    stats = cost_statistics(stats_seq, dist, cost_model, n_samples=5000, seed=args.seed)
-    pmf = reservation_count_pmf(pmf_seq, dist)
+        pmf_seq = strategy.sequence(dist, cost_model)
+        stats_seq = strategy.sequence(dist, cost_model)
+        with obs.span("evaluate.statistics"), registry.timer("cli.evaluation"):
+            stats = cost_statistics(
+                stats_seq, dist, cost_model, n_samples=5000, seed=args.seed
+            )
+        with obs.span("evaluate.pmf"), registry.timer("cli.evaluation"):
+            pmf = reservation_count_pmf(pmf_seq, dist)
 
     rows = []
     cum = 0.0
@@ -153,6 +199,33 @@ def main(argv=None) -> int:
     print(f"Cost std / p95 / p99: {stats.std:.4f} / {stats.cost_p95:.4f} / "
           f"{stats.cost_p99:.4f}")
     print(f"Expected #requests:   {stats.expected_reservations:.2f}")
+
+    # Timing footer (off the timer registry): every run is a smoke benchmark.
+    strategy_s = registry.timer_total(f"strategy.{strategy.name}.sequence")
+    evaluation_s = registry.timer_total("cli.evaluation")
+    n_builds = int(registry.counter("strategy.sequences_built").value)
+    print(
+        f"Planning wall time:   {root.duration:.3f}s "
+        f"(strategy {strategy_s:.3f}s over {n_builds} builds, "
+        f"evaluation {evaluation_s:.3f}s)"
+    )
+
+    if args.trace:
+        print("\nSpan tree:")
+        print(obs.format_span_tree(root))
+        print()
+        print(
+            format_table(
+                ["timer", "count", "total s", "mean ms", "p95 ms"],
+                list(registry.timer_rows()),
+                title="Timers",
+            )
+        )
+
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_json() + "\n")
+        print(f"\nMetrics written to {args.metrics_out}")
 
     if args.output:
         from repro.io import PlanDocument, plan_to_json

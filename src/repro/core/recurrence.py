@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence, SequenceError
+from repro.observability import metrics
+from repro.observability.profiling import profiled
 from repro.utils.numeric import MONOTONE_ATOL
 
 __all__ = [
@@ -56,6 +58,7 @@ def next_reservation(
     cost_model: CostModel,
 ) -> float:
     """One step of Eq. (11): compute ``t_i`` from ``t_{i-2}, t_{i-1}``."""
+    metrics.inc("recurrence.iterations")
     f = float(distribution.pdf(t_prev1))
     if not np.isfinite(f) or f <= 0.0:
         raise RecurrenceError(
@@ -68,6 +71,7 @@ def next_reservation(
     return sf_prev2 / f + (b / a) * (sf_prev1 / f - t_prev1) - g / a
 
 
+@profiled(name="recurrence.generate_optimal_sequence")
 def generate_optimal_sequence(
     t1: float,
     distribution,

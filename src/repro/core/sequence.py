@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.observability import metrics
 from repro.utils.numeric import MONOTONE_ATOL, first_nonincreasing_index
 
 __all__ = ["ReservationSequence", "SequenceError", "MAX_RESERVATIONS"]
@@ -114,6 +115,7 @@ class ReservationSequence:
                 f"non-increasing value {nxt} after {self.last}"
             )
         self._values = np.append(self._values, nxt)
+        metrics.inc("sequence.extensions")
         return nxt
 
     def ensure_covers(self, t: float) -> None:

@@ -1,17 +1,37 @@
-"""Shared configuration for the experiment harness.
+"""Shared configuration and observability plumbing for the experiment harness.
 
 Every experiment accepts an :class:`ExperimentConfig`; :data:`PAPER` uses the
 paper's exact hyperparameters (M=5000 brute-force candidates, N=1000
 Monte-Carlo samples, n=1000 discretization points, eps=1e-7) and
 :data:`QUICK` is a scaled-down preset for tests and smoke benchmarks that
 preserves every qualitative conclusion.
+
+:func:`observed_experiment` is how the runner instruments each artifact: it
+enables metrics/tracing for the duration of the run with a clean registry,
+and the harness then persists the registry as ``<name>.metrics.json``
+alongside the artifact text (:func:`write_experiment_metrics`), so every
+regeneration leaves a machine-readable record of how much work it did
+(recurrence iterations, MC samples, sequence extensions, kernel timings).
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
+import os
 from dataclasses import dataclass, replace
+from typing import Iterator
 
-__all__ = ["ExperimentConfig", "PAPER", "QUICK"]
+from repro import observability as obs
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER",
+    "QUICK",
+    "observed_experiment",
+    "write_experiment_metrics",
+    "metrics_summary_line",
+]
 
 
 @dataclass(frozen=True)
@@ -44,3 +64,51 @@ PAPER = ExperimentConfig()
 
 #: Fast preset: ~25x cheaper, same qualitative results.
 QUICK = ExperimentConfig(m_grid=300, n_samples=500, n_discrete=200)
+
+
+# ----------------------------------------------------------------------
+# Observability plumbing (used by the repro-experiments runner)
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def observed_experiment(name: str) -> Iterator[obs.Registry]:
+    """Run one experiment with instrumentation on and a clean registry.
+
+    Yields the metrics registry so the caller can summarize or persist it;
+    restores the previous enabled/disabled state on exit.
+    """
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    registry = obs.get_registry()
+    registry.reset()
+    try:
+        with obs.span("experiment", experiment=name):
+            yield registry
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+
+def write_experiment_metrics(name: str, directory: str) -> str:
+    """Persist the current registry as ``<directory>/<name>.metrics.json``."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.metrics.json")
+    payload = {"experiment": name, "metrics": obs.get_registry().to_dict()}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def metrics_summary_line(name: str) -> str:
+    """One-line per-experiment work summary for the runner's stdout."""
+    registry = obs.get_registry()
+
+    def count(key: str) -> int:
+        return int(registry.counter(key).value)
+
+    return (
+        f"[{name} metrics: {count('recurrence.iterations')} recurrence iters, "
+        f"{count('mc.samples')} MC samples, "
+        f"{count('sequence.extensions')} extensions, "
+        f"{count('brute_force.candidates')} BF candidates]"
+    )

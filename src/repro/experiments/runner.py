@@ -27,7 +27,14 @@ from repro.experiments.ablations import (
     run_ablation_tail,
     run_ablation_truncation,
 )
-from repro.experiments.common import PAPER, QUICK, ExperimentConfig
+from repro.experiments.common import (
+    PAPER,
+    QUICK,
+    ExperimentConfig,
+    metrics_summary_line,
+    observed_experiment,
+    write_experiment_metrics,
+)
 from repro.experiments.extensions_exp import (
     format_checkpoint_experiment,
     format_convex_experiment,
@@ -251,16 +258,20 @@ def main(argv=None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.perf_counter()
-        output = EXPERIMENTS[name](cfg)
+        with observed_experiment(name):
+            output = EXPERIMENTS[name](cfg)
         elapsed = time.perf_counter() - start
         print(output)
-        print(f"[{name}: {elapsed:.1f}s]\n")
+        print(f"[{name}: {elapsed:.1f}s]")
+        print(metrics_summary_line(name) + "\n")
         if save_dir is not None:
             import os
 
             path = os.path.join(save_dir, f"{name}.txt")
             with open(path, "w", encoding="utf-8") as fh:
                 fh.write(output + "\n")
+            # Machine-readable record of the work done, next to the artifact.
+            write_experiment_metrics(name, save_dir)
     return 0
 
 

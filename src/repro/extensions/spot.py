@@ -54,6 +54,11 @@ def expected_spot_time_restart(job_length: float, interruption_rate: float) -> f
     x = interruption_rate * job_length
     if x > 700.0:
         return math.inf  # astronomically unlikely to ever finish
+    if x < 1e-8:
+        # expm1(x)/lam loses all precision when lam is subnormal (the product
+        # lam*t rounds to a few ulp, and dividing by lam amplifies that to
+        # O(1) error).  Use the series t*(1 + x/2 + ...) instead.
+        return job_length * (1.0 + 0.5 * x)
     return math.expm1(x) / interruption_rate
 
 

@@ -1,0 +1,77 @@
+"""Dependency-free instrumentation: metrics, tracing, and profiling hooks.
+
+Three pieces, all off by default and cheap enough to leave compiled into hot
+paths (the disabled fast path is a bool check; see
+``tests/observability/test_overhead.py``):
+
+- **metrics** — process-local counters, gauges, and timer histograms with
+  p50/p95/p99 summaries and JSON export (:class:`Registry`, :func:`inc`,
+  :func:`timer`, ...).
+- **tracing** — hierarchical spans (:func:`span`) with an in-memory ring
+  buffer by default and a :class:`JsonlSink` for experiments;
+  :func:`format_span_tree` renders the ``repro-plan --trace`` view.
+- **profiling** — the :func:`profiled` decorator, activated by
+  ``REPRO_PROFILE=1`` or ``enable(profiling=True)``.
+
+Switches: ``enable()`` / ``disable()`` programmatically, or the
+``REPRO_OBSERVE=1`` / ``REPRO_PROFILE=1`` environment variables at import.
+"""
+
+from repro.observability._state import disable, enable, is_enabled, is_profiling
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Registry,
+    ValueHistogram,
+    get_registry,
+    inc,
+    observe,
+    reset_metrics,
+    set_gauge,
+    set_registry,
+    timer,
+)
+from repro.observability.profiling import profiled
+from repro.observability.tracing import (
+    JsonlSink,
+    RingBufferSink,
+    Span,
+    current_span,
+    format_span_tree,
+    get_sink,
+    record_event,
+    set_sink,
+    span,
+)
+
+__all__ = [
+    # switches
+    "enable",
+    "disable",
+    "is_enabled",
+    "is_profiling",
+    # metrics
+    "Counter",
+    "Gauge",
+    "ValueHistogram",
+    "Registry",
+    "get_registry",
+    "set_registry",
+    "reset_metrics",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timer",
+    # tracing
+    "Span",
+    "span",
+    "record_event",
+    "current_span",
+    "RingBufferSink",
+    "JsonlSink",
+    "get_sink",
+    "set_sink",
+    "format_span_tree",
+    # profiling
+    "profiled",
+]

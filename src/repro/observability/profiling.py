@@ -1,0 +1,62 @@
+"""Opt-in profiling hooks for hot paths.
+
+``@profiled`` marks a function as profileable without paying for it: with
+profiling off (the default) a call costs exactly one bool check before the
+original function runs.  With ``REPRO_PROFILE=1`` in the environment — or
+``repro.observability.enable(profiling=True)`` — every call is wrapped in a
+``profile.<name>`` span and its duration lands in the timer registry, so
+``repro-plan --trace`` and the metrics JSON pick it up with no further code
+changes.
+
+The zero-overhead claim is enforced by ``tests/observability/test_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+import time as _time
+from typing import Callable, Optional, TypeVar, overload
+
+from repro.observability import metrics, tracing
+from repro.observability._state import STATE
+
+__all__ = ["profiled"]
+
+F = TypeVar("F", bound=Callable)
+
+
+@overload
+def profiled(fn: F) -> F: ...
+@overload
+def profiled(*, name: str) -> Callable[[F], F]: ...
+
+
+def profiled(fn: Optional[Callable] = None, *, name: Optional[str] = None):
+    """Decorator: profile this function when profiling is switched on.
+
+    Usable bare (``@profiled``) or with an explicit label
+    (``@profiled(name="mc.kernel")``).  The default label is
+    ``<module-basename>.<qualname>``.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        label = name or f"{func.__module__.rsplit('.', 1)[-1]}.{func.__qualname__}"
+        timer_name = f"profile.{label}"
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not STATE.profiling:
+                return func(*args, **kwargs)
+            start = _time.perf_counter()
+            try:
+                with tracing.span(timer_name):
+                    return func(*args, **kwargs)
+            finally:
+                metrics.get_registry().observe_timer(
+                    timer_name, _time.perf_counter() - start
+                )
+
+        wrapper.__wrapped__ = func
+        return wrapper
+
+    return decorate(fn) if fn is not None else decorate

@@ -23,11 +23,13 @@ the online accounting reproduces ``C(k, t)`` exactly.
 from __future__ import annotations
 
 import enum
+import time as _time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence
+from repro.observability import metrics, tracing
 
 __all__ = ["AttemptOutcome", "Attempt", "ReservationSession", "execute"]
 
@@ -60,6 +62,7 @@ class ReservationSession:
         self.cost_model = cost_model
         self.attempts: List[Attempt] = []
         self._pending: Optional[float] = None
+        self._pending_since: Optional[float] = None
         self._done = False
 
     # ------------------------------------------------------------------
@@ -86,6 +89,30 @@ class ReservationSession:
                     if a.outcome is AttemptOutcome.FAILURE]
         return max(failures, default=0.0)
 
+    @property
+    def trace(self) -> List[Dict[str, object]]:
+        """Attempt log as plain dicts (serialization-friendly).
+
+        Each entry carries ``index``, ``requested``, ``outcome`` (the string
+        value), ``cost``, and the running ``cumulative_cost`` — everything a
+        caller or the observability JSONL sink needs without reaching into
+        :class:`Attempt` internals.
+        """
+        out: List[Dict[str, object]] = []
+        cumulative = 0.0
+        for a in self.attempts:
+            cumulative += a.cost
+            out.append(
+                {
+                    "index": a.index,
+                    "requested": a.requested,
+                    "outcome": a.outcome.value,
+                    "cost": a.cost,
+                    "cumulative_cost": cumulative,
+                }
+            )
+        return out
+
     # ------------------------------------------------------------------
     def next_request(self) -> float:
         """The reservation length to submit next."""
@@ -100,6 +127,8 @@ class ReservationSession:
         while len(self.sequence) <= idx:
             self.sequence.extend_once()
         self._pending = float(self.sequence[idx])
+        self._pending_since = _time.perf_counter()
+        metrics.inc("session.requests")
         return self._pending
 
     def report_success(self, runtime: float) -> Attempt:
@@ -123,6 +152,7 @@ class ReservationSession:
         self.attempts.append(attempt)
         self._pending = None
         self._done = True
+        self._record_attempt(attempt)
         return attempt
 
     def report_failure(self) -> Attempt:
@@ -136,7 +166,31 @@ class ReservationSession:
         )
         self.attempts.append(attempt)
         self._pending = None
+        self._record_attempt(attempt)
         return attempt
+
+    def _record_attempt(self, attempt: Attempt) -> None:
+        """Emit one ``session.attempt`` span + counters for a closed attempt.
+
+        The span's duration is the wall time between ``next_request`` and the
+        report — the window in which the caller actually ran the job.
+        """
+        metrics.inc("session.attempts")
+        metrics.inc(
+            "session.successes"
+            if attempt.outcome is AttemptOutcome.SUCCESS
+            else "session.failures"
+        )
+        since, self._pending_since = self._pending_since, None
+        tracing.record_event(
+            "session.attempt",
+            duration=(_time.perf_counter() - since) if since is not None else 0.0,
+            index=attempt.index,
+            requested=attempt.requested,
+            outcome=attempt.outcome.value,
+            cost=attempt.cost,
+            cumulative_cost=self.total_cost,
+        )
 
     def _require_pending(self) -> float:
         if self._pending is None:

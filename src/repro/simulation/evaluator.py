@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.cost import CostModel
 from repro.core.expectation import expected_cost_series
 from repro.core.sequence import ReservationSequence
+from repro.observability import metrics, tracing
 from repro.simulation.monte_carlo import costs_for_times, monte_carlo_expected_cost
 from repro.simulation.results import EvaluationRecord
 from repro.utils.rng import SeedLike
@@ -39,7 +40,13 @@ def evaluate_on_samples(
     """
     samples = np.asarray(samples, dtype=float)
     omniscient = cost_model.omniscient_expected_cost(distribution)
-    costs = costs_for_times(sequence, samples, cost_model)
+    metrics.inc("evaluator.evaluations")
+    with tracing.span(
+        "evaluator.on_samples",
+        strategy=strategy_name or sequence.name or "<sequence>",
+        n_samples=int(samples.size),
+    ), metrics.timer("evaluator.monte_carlo"):
+        costs = costs_for_times(sequence, samples, cost_model)
     expected = float(costs.mean())
     n = int(samples.size)
     std_err = float(costs.std(ddof=1) / np.sqrt(n)) if n > 1 else 0.0
@@ -68,13 +75,24 @@ def evaluate_sequence(
 ) -> EvaluationRecord:
     """Evaluate one already-built sequence and return a record."""
     omniscient = cost_model.omniscient_expected_cost(distribution)
+    metrics.inc("evaluator.evaluations")
     if method == "monte_carlo":
-        mc = monte_carlo_expected_cost(
-            sequence, distribution, cost_model, n_samples=n_samples, seed=seed
-        )
+        with tracing.span(
+            "evaluator.monte_carlo",
+            strategy=strategy_name or sequence.name or "<sequence>",
+            n_samples=n_samples,
+        ), metrics.timer("evaluator.monte_carlo"):
+            mc = monte_carlo_expected_cost(
+                sequence, distribution, cost_model, n_samples=n_samples, seed=seed
+            )
         expected, std_err, n = mc.mean_cost, mc.std_error, mc.n_samples
     elif method == "series":
-        expected, std_err, n = expected_cost_series(sequence, distribution, cost_model), None, None
+        with tracing.span(
+            "evaluator.series",
+            strategy=strategy_name or sequence.name or "<sequence>",
+        ), metrics.timer("evaluator.series"):
+            expected = expected_cost_series(sequence, distribution, cost_model)
+        std_err, n = None, None
     else:
         raise ValueError(f"unknown evaluation method {method!r}")
     return EvaluationRecord(

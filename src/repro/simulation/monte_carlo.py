@@ -6,6 +6,11 @@ vectorized: one ``searchsorted`` against the reservation grid locates the
 covering reservation of every sample, and a prefix-sum over per-reservation
 failure costs accumulates the paid-but-failed reservations — no per-sample
 Python loop (cf. the hpc-parallel guide on vectorizing).
+
+Instrumentation (``repro.observability``): the kernel counts samples costed
+(``mc.samples``) and kernel invocations (``mc.kernel_calls``) and times each
+invocation under ``mc.kernel``; all of it is a no-op unless observability is
+enabled.
 """
 
 from __future__ import annotations
@@ -16,6 +21,8 @@ import numpy as np
 
 from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence
+from repro.observability import metrics
+from repro.observability.profiling import profiled
 from repro.utils.rng import SeedLike, as_generator
 
 __all__ = ["MonteCarloResult", "costs_for_times", "monte_carlo_expected_cost"]
@@ -37,6 +44,51 @@ class MonteCarloResult:
         return (self.mean_cost - half, self.mean_cost + half)
 
 
+def _costs_and_indices(
+    sequence: ReservationSequence,
+    times: np.ndarray,
+    cost_model: CostModel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared kernel: ``(C(k, t), k)`` for every execution time.
+
+    Computing the covering indices ``k`` once and returning them alongside
+    the costs lets :func:`monte_carlo_expected_cost` report
+    ``max_reservations_hit`` without a second ``searchsorted`` over the same
+    samples (previously a duplicated kernel call).
+    """
+    times = np.asarray(times, dtype=float)
+    if times.size == 0:
+        raise ValueError("need at least one execution time")
+    if np.any(times < 0):
+        raise ValueError("execution times must be nonnegative")
+    sequence.ensure_covers(float(times.max()))
+    values = sequence.values
+
+    metrics.inc("mc.samples", times.size)
+    metrics.inc("mc.kernel_calls")
+    with metrics.timer("mc.kernel"):
+        # k[j]: index of the first reservation >= times[j].
+        k = np.searchsorted(values, times, side="left")
+        # prefix[i]: total cost of the first i reservations, all failed.  A
+        # near-collapse Eq. (11) candidate can produce astronomically large
+        # tail reservations; their prefix entries overflow to inf but sit
+        # beyond every sample's index, so the overflow is harmless — silence
+        # it locally.
+        with np.errstate(over="ignore"):
+            failure_costs = (
+                cost_model.alpha + cost_model.beta
+            ) * values + cost_model.gamma
+            prefix = np.concatenate([[0.0], np.cumsum(failure_costs)])
+        costs = (
+            prefix[k]
+            + cost_model.alpha * values[k]
+            + cost_model.beta * times
+            + cost_model.gamma
+        )
+    return costs, k
+
+
+@profiled(name="mc.costs_for_times")
 def costs_for_times(
     sequence: ReservationSequence,
     times: np.ndarray,
@@ -47,29 +99,8 @@ def costs_for_times(
     The sequence is extended (via its extender) until it covers the largest
     sample; a finite sequence that cannot cover raises ``SequenceError``.
     """
-    times = np.asarray(times, dtype=float)
-    if times.size == 0:
-        raise ValueError("need at least one execution time")
-    if np.any(times < 0):
-        raise ValueError("execution times must be nonnegative")
-    sequence.ensure_covers(float(times.max()))
-    values = sequence.values
-
-    # k[j]: index of the first reservation >= times[j].
-    k = np.searchsorted(values, times, side="left")
-    # prefix[i]: total cost of the first i reservations, all failed.  A
-    # near-collapse Eq. (11) candidate can produce astronomically large tail
-    # reservations; their prefix entries overflow to inf but sit beyond every
-    # sample's index, so the overflow is harmless — silence it locally.
-    with np.errstate(over="ignore"):
-        failure_costs = (cost_model.alpha + cost_model.beta) * values + cost_model.gamma
-        prefix = np.concatenate([[0.0], np.cumsum(failure_costs)])
-    return (
-        prefix[k]
-        + cost_model.alpha * values[k]
-        + cost_model.beta * times
-        + cost_model.gamma
-    )
+    costs, _ = _costs_and_indices(sequence, times, cost_model)
+    return costs
 
 
 def monte_carlo_expected_cost(
@@ -84,8 +115,8 @@ def monte_carlo_expected_cost(
         raise ValueError(f"n_samples must be positive, got {n_samples}")
     rng = as_generator(seed)
     times = distribution.rvs(n_samples, seed=rng)
-    costs = costs_for_times(sequence, times, cost_model)
-    k = np.searchsorted(sequence.values, times, side="left")
+    costs, k = _costs_and_indices(sequence, times, cost_model)
+    metrics.inc("mc.searchsorted_reused")  # one kernel call where there were two
     return MonteCarloResult(
         mean_cost=float(costs.mean()),
         std_error=float(costs.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0,

@@ -4,16 +4,54 @@ A *strategy* maps a (distribution, cost model) pair to a reservation
 sequence.  Strategies are stateless and reusable across distributions; any
 randomness (e.g. BRUTE-FORCE's Monte-Carlo scoring) is seeded explicitly at
 construction.
+
+Every concrete ``sequence`` implementation is instrumented at class-creation
+time (``__init_subclass__``): when observability is enabled, each build runs
+inside a ``strategy.sequence`` span and its wall time lands in the
+``strategy.<name>.sequence`` timer; when disabled the wrapper is a single
+bool check.
 """
 
 from __future__ import annotations
 
 import abc
+import functools
+import time as _time
 
 from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence
+from repro.observability import metrics, tracing
+from repro.observability._state import STATE
 
 __all__ = ["Strategy"]
+
+
+def _instrument_sequence(fn):
+    """Wrap a concrete ``Strategy.sequence`` with span + timer recording."""
+
+    @functools.wraps(fn)
+    def wrapper(self, distribution, cost_model, *args, **kwargs):
+        if not STATE.enabled:
+            return fn(self, distribution, cost_model, *args, **kwargs)
+        start = _time.perf_counter()
+        with tracing.span(
+            "strategy.sequence",
+            strategy=self.name,
+            distribution=getattr(distribution, "name", type(distribution).__name__),
+        ) as sp:
+            result = fn(self, distribution, cost_model, *args, **kwargs)
+            if sp is not None:
+                sp.set("prefix_length", len(result))
+                sp.set("t1", result.first)
+        registry = metrics.get_registry()
+        registry.observe_timer(
+            f"strategy.{self.name}.sequence", _time.perf_counter() - start
+        )
+        registry.counter("strategy.sequences_built").inc()
+        return result
+
+    wrapper.__repro_instrumented__ = True
+    return wrapper
 
 
 class Strategy(abc.ABC):
@@ -21,6 +59,12 @@ class Strategy(abc.ABC):
 
     #: Identifier used in experiment tables (matches the paper's column names).
     name: str = "strategy"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        impl = cls.__dict__.get("sequence")
+        if impl is not None and not getattr(impl, "__repro_instrumented__", False):
+            cls.sequence = _instrument_sequence(impl)
 
     @abc.abstractmethod
     def sequence(self, distribution, cost_model: CostModel) -> ReservationSequence:

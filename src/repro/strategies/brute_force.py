@@ -30,6 +30,7 @@ from repro.core.recurrence import (
     optimal_sequence_from_t1,
 )
 from repro.core.sequence import ReservationSequence, SequenceError
+from repro.observability import metrics, tracing
 from repro.simulation.monte_carlo import costs_for_times
 from repro.strategies.base import Strategy
 from repro.utils.rng import SeedLike, as_generator
@@ -151,14 +152,23 @@ class BruteForce(Strategy):
 
         points: List[ScanPoint] = []
         best_t1, best_cost = math.nan, math.inf
-        # Paper's grid: t1 = a + m (b-a)/M for m = 1..M (skips the degenerate
-        # left endpoint, includes the right one).
-        for m in range(1, self.m_grid + 1):
-            t1 = lo + m * (hi - lo) / self.m_grid
-            cost = self.candidate_cost(t1, distribution, cost_model, samples)
-            points.append(ScanPoint(t1=t1, expected_cost=cost))
-            if cost is not None and cost < best_cost:
-                best_t1, best_cost = t1, cost
+        with tracing.span(
+            "strategy.brute_force.scan", m_grid=self.m_grid, lo=lo, hi=hi
+        ) as sp:
+            # Paper's grid: t1 = a + m (b-a)/M for m = 1..M (skips the
+            # degenerate left endpoint, includes the right one).
+            for m in range(1, self.m_grid + 1):
+                t1 = lo + m * (hi - lo) / self.m_grid
+                cost = self.candidate_cost(t1, distribution, cost_model, samples)
+                points.append(ScanPoint(t1=t1, expected_cost=cost))
+                if cost is not None and cost < best_cost:
+                    best_t1, best_cost = t1, cost
+            n_feasible = sum(p.feasible for p in points)
+            metrics.inc("brute_force.candidates", len(points))
+            metrics.inc("brute_force.feasible_candidates", n_feasible)
+            if sp is not None:
+                sp.set("feasible", n_feasible)
+                sp.set("best_t1", best_t1)
         if not math.isfinite(best_cost):
             raise SequenceError(
                 f"BRUTE-FORCE found no feasible t1 in [{lo}, {hi}] for "

@@ -31,6 +31,8 @@ import numpy as np
 from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence
 from repro.distributions.discrete import DiscreteDistribution
+from repro.observability import metrics
+from repro.observability.profiling import profiled
 
 __all__ = ["DiscreteDPResult", "solve_discrete_dp", "dp_sequence_for_discrete"]
 
@@ -48,10 +50,13 @@ class DiscreteDPResult:
     value_unnormalized: np.ndarray = None  # type: ignore[assignment]
 
 
+@profiled(name="dp.solve_discrete_dp")
 def solve_discrete_dp(
     discrete: DiscreteDistribution, cost_model: CostModel
 ) -> DiscreteDPResult:
     """Run the Theorem 5 dynamic program and backtrack the optimal sequence."""
+    metrics.inc("dp.solves")
+    metrics.inc("dp.points", discrete.values.size)
     v = discrete.values
     f = discrete.masses / discrete.masses.sum()  # DP is over the conditional law
     n = v.size

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.discretization.truncation import DEFAULT_EPSILON
+from repro.observability import metrics
 from repro.strategies.base import Strategy
 from repro.strategies.brute_force import BruteForce
 from repro.strategies.discretized_dp import EqualProbabilityDP, EqualTimeDP
@@ -47,6 +48,7 @@ def make_strategy(name: str, **kwargs) -> Strategy:
     }
     if key not in factories:
         raise KeyError(f"unknown strategy {name!r}; known: {sorted(factories)}")
+    metrics.inc(f"strategy.created.{key}")
     return factories[key](**kwargs)
 
 

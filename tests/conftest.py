@@ -62,3 +62,38 @@ def any_cost_model(request):
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)
+
+
+# ----------------------------------------------------------------------
+# Observability isolation (used by tests/observability and runtime tests)
+
+
+@pytest.fixture
+def isolated_obs():
+    """Fresh metrics registry + span sink; disabled on entry, restored on exit.
+
+    Keeps instrumentation state from leaking between tests (the rest of the
+    suite assumes the disabled default).
+    """
+    from repro import observability as obs
+
+    registry = obs.Registry()
+    sink = obs.RingBufferSink()
+    old_registry = obs.set_registry(registry)
+    old_sink = obs.set_sink(sink)
+    obs.disable()
+    try:
+        yield registry, sink
+    finally:
+        obs.disable()
+        obs.set_registry(old_registry)
+        obs.set_sink(old_sink)
+
+
+@pytest.fixture
+def enabled_obs(isolated_obs):
+    """Same isolation as :func:`isolated_obs`, with instrumentation on."""
+    from repro import observability as obs
+
+    obs.enable()
+    return isolated_obs

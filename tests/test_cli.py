@@ -57,3 +57,71 @@ class TestPlanCli:
     def test_requires_a_source(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservabilityFlags:
+    ARGS = ["--distribution", "exponential", "--param", "rate=1.0",
+            "--strategy", "mean_by_mean"]
+
+    def test_trace_prints_span_tree_and_timers(self, capsys, isolated_obs):
+        assert main(self.ARGS + ["--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Span tree:" in out
+        assert "repro-plan" in out
+        assert "strategy.sequence" in out
+        assert "evaluate.statistics" in out
+        assert "Timers" in out
+        # Footer: total wall time with strategy/evaluation breakdown.
+        assert "Planning wall time" in out
+        assert "evaluation" in out
+
+    def test_trace_timings_sum_close_to_total(self, capsys, isolated_obs):
+        import re
+
+        assert main(self.ARGS + ["--trace"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(
+            r"Planning wall time:\s+([\d.]+)s \(strategy ([\d.]+)s over \d+ "
+            r"builds, evaluation ([\d.]+)s\)",
+            out,
+        )
+        assert match, out
+        total, strategy, evaluation = map(float, match.groups())
+        assert strategy + evaluation <= total * 1.001
+        # Acceptance bar: the accounted-for portions cover >=90% of the wall.
+        assert strategy + evaluation >= total * 0.9
+
+    def test_metrics_out_writes_promised_counters(self, tmp_path, capsys,
+                                                  isolated_obs):
+        import json
+
+        path = tmp_path / "metrics.json"
+        # brute_force drives the Eq. (11) recurrence, so its iteration
+        # counter is provably nonzero here.
+        argv = ["--distribution", "uniform", "--param", "a=10",
+                "--param", "b=20", "--strategy", "brute_force",
+                "--metrics-out", str(path)]
+        assert main(argv) == 0
+        payload = json.loads(path.read_text())
+        counters = payload["counters"]
+        assert counters["recurrence.iterations"] > 0
+        assert counters["mc.samples"] > 0
+        assert "sequence.extensions" in counters
+        assert counters["brute_force.candidates"] > 0
+        assert payload["timers"]  # at least the evaluation timers
+
+    def test_flags_leave_observability_disabled_after(self, capsys,
+                                                      isolated_obs):
+        from repro import observability as obs
+
+        assert not obs.is_enabled()
+        assert main(self.ARGS + ["--trace"]) == 0
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+    def test_plain_run_unaffected_by_flags_absence(self, capsys, isolated_obs):
+        registry, _ = isolated_obs
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Trace" not in out
+        assert "Planning wall time" in out  # footer always prints
