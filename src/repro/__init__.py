@@ -91,6 +91,11 @@ from repro.strategies import (
     paper_strategies,
     solve_discrete_dp,
 )
+from repro.verification import (
+    ConformanceReport,
+    SweepConfig,
+    run_oracle_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -162,5 +167,9 @@ __all__ = [
     "NeuroHPCPlatform",
     "WaitTimeModel",
     "generate_trace",
+    # verification
+    "ConformanceReport",
+    "SweepConfig",
+    "run_oracle_sweep",
     "__version__",
 ]

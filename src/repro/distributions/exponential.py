@@ -51,7 +51,10 @@ class Exponential(Distribution):
         q = np.asarray(q, dtype=float)
         if np.any((q < 0.0) | (q > 1.0)):
             raise ValueError("quantile argument must lie in [0, 1]")
-        out = -np.log1p(-q) / self.rate
+        # q = 1 maps to +inf (unbounded support); silence the log(0) warning
+        # rather than let callers trip on it at the boundary.
+        with np.errstate(divide="ignore"):
+            out = -np.log1p(-q) / self.rate
         return out if out.ndim else float(out)
 
     def mean(self) -> float:

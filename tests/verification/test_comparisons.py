@@ -1,0 +1,97 @@
+"""Unit tests for the tolerance policy and agreement predicates."""
+
+import math
+
+import pytest
+
+from repro.verification.comparisons import (
+    Tolerance,
+    agree_close,
+    agree_upper_bound,
+    agree_within_ci,
+)
+
+
+class TestTolerance:
+    def test_allowance_combines_rel_and_abs(self):
+        tol = Tolerance(rtol=1e-3, atol=1e-6)
+        assert tol.allowance(10.0, 20.0) == pytest.approx(1e-6 + 1e-3 * 20.0)
+
+    def test_negative_tolerances_rejected(self):
+        with pytest.raises(ValueError):
+            Tolerance(rtol=-1e-9)
+        with pytest.raises(ValueError):
+            Tolerance(atol=-1.0)
+
+    def test_describe_mentions_both(self):
+        s = Tolerance(rtol=1e-4, atol=1e-8).describe()
+        assert "0.0001" in s and "1e-08" in s
+
+
+class TestAgreeClose:
+    def test_equal_values_pass(self):
+        a = agree_close(1.234, 1.234)
+        assert a.passed and a.discrepancy == 0.0
+
+    def test_within_tolerance_passes(self):
+        a = agree_close(100.0, 100.0 + 5e-5, Tolerance(rtol=1e-6, atol=0.0))
+        assert a.passed
+
+    def test_outside_tolerance_fails_with_detail(self):
+        a = agree_close(1.0, 1.1, Tolerance(rtol=1e-9, atol=1e-12))
+        assert not a.passed
+        assert "0.1" in a.detail
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_fails(self, bad):
+        assert not agree_close(bad, 1.0).passed
+        assert not agree_close(1.0, bad).passed
+
+    def test_bool_protocol(self):
+        assert bool(agree_close(2.0, 2.0))
+        assert not bool(agree_close(2.0, 3.0))
+
+
+class TestAgreeWithinCI:
+    def test_exact_inside_interval_passes(self):
+        a = agree_within_ci(mc_mean=10.0, mc_std_error=0.1, exact=10.3, z=4.0)
+        assert a.passed  # |10 - 10.3| = 0.3 < 0.4
+
+    def test_exact_outside_interval_fails(self):
+        a = agree_within_ci(mc_mean=10.0, mc_std_error=0.05, exact=10.5, z=4.0)
+        assert not a.passed
+
+    def test_zero_variance_estimate_uses_slack(self):
+        # Degenerate MC (all samples identical) still tolerates float noise.
+        a = agree_within_ci(mc_mean=20.0, mc_std_error=0.0, exact=20.0 + 1e-9)
+        assert a.passed
+
+    def test_negative_std_error_rejected(self):
+        with pytest.raises(ValueError):
+            agree_within_ci(1.0, -0.1, 1.0)
+
+    def test_non_finite_fails(self):
+        assert not agree_within_ci(math.nan, 0.1, 1.0).passed
+
+    def test_z_widens_interval(self):
+        tight = agree_within_ci(10.0, 0.1, 10.35, z=1.0)
+        wide = agree_within_ci(10.0, 0.1, 10.35, z=4.0)
+        assert not tight.passed and wide.passed
+
+
+class TestAgreeUpperBound:
+    def test_value_below_bound_passes(self):
+        assert agree_upper_bound(1.0, 2.0).passed
+
+    def test_value_at_bound_passes(self):
+        assert agree_upper_bound(2.0, 2.0).passed
+
+    def test_value_above_bound_fails(self):
+        a = agree_upper_bound(2.1, 2.0)
+        assert not a.passed and a.discrepancy == pytest.approx(0.1)
+
+    def test_tiny_excess_within_tolerance_passes(self):
+        assert agree_upper_bound(2.0 + 1e-12, 2.0, Tolerance(rtol=1e-9, atol=0.0)).passed
+
+    def test_non_finite_fails(self):
+        assert not agree_upper_bound(math.inf, 2.0).passed

@@ -1,0 +1,127 @@
+"""Per-distribution property tests, parametrized over all nine paper laws.
+
+Deterministic counterpart to the Hypothesis suite: every law in
+``PAPER_ORDER`` gets the same four contracts checked at its paper parameters —
+pdf/CDF consistency, quantile round trips, Table 5 moments against quadrature,
+and the ``q=0`` / ``q=1`` boundary behaviour (which exposed the
+Exponential/Weibull ``log(0)`` warning this PR fixes).
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.verification.invariants import (
+    check_cdf_monotone_and_bounded,
+    check_cdf_quantile_roundtrip,
+    check_conditional_exceeds_tau,
+    check_conditional_matches_numeric,
+    check_moments_match_numeric,
+    check_pdf_integrates_to_cdf,
+    check_quantile_edges,
+    check_sf_complement,
+)
+
+INTERIOR_QS = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+
+
+class TestDensityAndCdf:
+    def test_pdf_integrates_to_cdf_over_interior(self, any_distribution):
+        d = any_distribution
+        a = float(d.quantile(0.05))
+        b = float(d.quantile(0.95))
+        check_pdf_integrates_to_cdf(d, a, b)
+
+    def test_pdf_nonnegative_on_support(self, any_distribution):
+        d = any_distribution
+        ts = np.linspace(float(d.quantile(0.001)), float(d.quantile(0.999)), 101)
+        assert np.all(np.asarray(d.pdf(ts)) >= 0.0)
+
+    def test_pdf_zero_below_support(self, any_distribution):
+        d = any_distribution
+        if d.lower > 0:
+            assert float(d.pdf(d.lower / 2.0)) == 0.0
+        assert float(d.pdf(-1.0)) == 0.0
+
+    def test_total_mass_is_one(self, any_distribution):
+        d = any_distribution
+        lo = float(d.quantile(1e-9)) if not math.isfinite(d.lower) else d.lower
+        hi = d.upper if math.isfinite(d.upper) else float(d.quantile(1.0 - 1e-12))
+        mass, _ = integrate.quad(d.pdf, lo, hi, limit=300)
+        assert mass == pytest.approx(1.0, rel=1e-6)
+
+    def test_cdf_monotone_and_bounded(self, any_distribution):
+        d = any_distribution
+        probe = [-1.0, 0.0] + [float(d.quantile(q)) for q in INTERIOR_QS] + [
+            float(d.quantile(0.999)) * 2.0
+        ]
+        check_cdf_monotone_and_bounded(d, probe)
+
+    def test_sf_complements_cdf(self, any_distribution):
+        d = any_distribution
+        check_sf_complement(d, [float(d.quantile(q)) for q in INTERIOR_QS])
+
+
+class TestQuantile:
+    @pytest.mark.parametrize("q", INTERIOR_QS)
+    def test_roundtrip(self, any_distribution, q):
+        check_cdf_quantile_roundtrip(any_distribution, q)
+
+    def test_quantile_monotone(self, any_distribution):
+        values = [float(any_distribution.quantile(q)) for q in INTERIOR_QS]
+        assert values == sorted(values)
+
+    def test_edges_clean(self, any_distribution):
+        """q=0 hits the lower bound, q=1 the upper bound (or +inf) — with no
+        floating-point warnings escaping (the Exponential/Weibull quantile
+        used to emit a divide-by-zero RuntimeWarning at q=1)."""
+        check_quantile_edges(any_distribution)
+
+    def test_q1_no_warning(self, any_distribution):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            hi = float(any_distribution.quantile(1.0))
+        if math.isfinite(any_distribution.upper):
+            assert hi == pytest.approx(any_distribution.upper)
+        else:
+            assert hi == math.inf
+
+    @pytest.mark.parametrize("q", [-0.5, -1e-12, 1.0 + 1e-12, 2.0])
+    def test_out_of_range_rejected(self, any_distribution, q):
+        with pytest.raises(ValueError):
+            any_distribution.quantile(q)
+
+
+class TestTable5Moments:
+    def test_closed_forms_match_quadrature(self, any_distribution):
+        check_moments_match_numeric(any_distribution)
+
+    def test_variance_consistency(self, any_distribution):
+        d = any_distribution
+        var = d.second_moment() - d.mean() ** 2
+        assert var > 0
+        assert d.var() == pytest.approx(var, rel=1e-9, abs=1e-12)
+
+    def test_mean_within_support(self, any_distribution):
+        d = any_distribution
+        assert d.lower < d.mean() < d.upper
+
+
+class TestTable6Conditional:
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9])
+    def test_exceeds_threshold(self, any_distribution, q):
+        check_conditional_exceeds_tau(any_distribution, float(any_distribution.quantile(q)))
+
+    @pytest.mark.parametrize("q", [0.25, 0.75])
+    def test_matches_quadrature(self, any_distribution, q):
+        check_conditional_matches_numeric(
+            any_distribution, float(any_distribution.quantile(q))
+        )
+
+    def test_below_support_equals_mean(self, any_distribution):
+        d = any_distribution
+        tau = d.lower - 1.0
+        assert d.conditional_expectation(tau) == pytest.approx(d.mean(), rel=1e-9)

@@ -1,0 +1,119 @@
+"""Metamorphic time-rescaling tests (the unit-consistency contract of Eq. 1).
+
+Changing the time unit — job ``X -> cX``, reservations ``t_i -> c t_i``,
+per-request overhead ``gamma -> c gamma`` — must multiply every expected cost
+by exactly ``c``, because ``alpha``/``beta`` are *rates* (cost per hour) while
+``gamma`` and the result are absolute costs in the rescaled unit.  Both
+evaluators, the heuristic strategies, and the Monte-Carlo estimator must all
+transform covariantly; a hidden absolute constant anywhere in the pipeline
+breaks this and is exactly the kind of bug a point check at the paper's
+parameters cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.expectation import expected_cost_direct, expected_cost_series
+from repro.core.sequence import ReservationSequence
+from repro.distributions.registry import PAPER_ORDER, paper_distribution
+from repro.simulation.monte_carlo import monte_carlo_expected_cost
+from repro.strategies.mean_doubling import MeanDoubling
+from repro.strategies.median_by_median import MedianByMedian
+from repro.verification.generators import covering_grid
+from repro.verification.invariants import (
+    check_time_rescaling_covariance,
+    rescale_distribution,
+)
+
+#: Every paper law with a scale parameter (Beta's support is pinned to [0, 1]).
+RESCALABLE = [name for name in PAPER_ORDER if name != "beta"]
+
+SCALES = (0.25, 3600.0)  # e.g. hours -> quarter hours / hours -> seconds
+
+
+def _scaled_problem(name, c):
+    base = paper_distribution(name)
+    cm = CostModel.neurohpc()
+    scaled = rescale_distribution(base, c)
+    scaled_cm = CostModel(alpha=cm.alpha, beta=cm.beta, gamma=c * cm.gamma)
+    return base, cm, scaled, scaled_cm
+
+
+@pytest.mark.parametrize("name", RESCALABLE)
+@pytest.mark.parametrize("c", SCALES)
+class TestEvaluatorCovariance:
+    def test_invariant_holds(self, name, c):
+        d = paper_distribution(name)
+        check_time_rescaling_covariance(d, CostModel.neurohpc(), covering_grid(d), c)
+
+    def test_series_scales(self, name, c):
+        base, cm, scaled, scaled_cm = _scaled_problem(name, c)
+        values = covering_grid(base)
+        lhs = expected_cost_series([c * v for v in values], scaled, scaled_cm)
+        rhs = c * expected_cost_series(values, base, cm)
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_direct_scales(self, name, c):
+        base, cm, scaled, scaled_cm = _scaled_problem(name, c)
+        values = covering_grid(base)
+        lhs = expected_cost_direct([c * v for v in values], scaled, scaled_cm)
+        rhs = c * expected_cost_direct(values, base, cm)
+        assert lhs == pytest.approx(rhs, rel=1e-6)
+
+
+@pytest.mark.parametrize("name", RESCALABLE)
+def test_rescaled_law_is_the_pushforward(name):
+    """``rescale_distribution`` really is the law of ``cX``: CDFs agree on a
+    quantile grid and quantiles scale linearly."""
+    c = 7.5
+    base = paper_distribution(name)
+    scaled = rescale_distribution(base, c)
+    for q in (0.05, 0.3, 0.6, 0.9, 0.99):
+        t = float(base.quantile(q))
+        assert float(scaled.cdf(c * t)) == pytest.approx(q, abs=1e-9)
+        assert float(scaled.quantile(q)) == pytest.approx(c * t, rel=1e-9)
+    assert scaled.mean() == pytest.approx(c * base.mean(), rel=1e-9)
+    assert scaled.second_moment() == pytest.approx(
+        c * c * base.second_moment(), rel=1e-9
+    )
+
+
+@pytest.mark.parametrize("strategy_cls", [MeanDoubling, MedianByMedian])
+@pytest.mark.parametrize("name", RESCALABLE)
+def test_heuristic_sequences_scale(strategy_cls, name):
+    """Scale-derived heuristics commute with rescaling: the sequence for
+    ``cX`` is ``c`` times the sequence for ``X``, term by term."""
+    c = 12.0
+    base = paper_distribution(name)
+    scaled = rescale_distribution(base, c)
+    cm = CostModel.reservation_only()
+    s_base = strategy_cls().sequence(base, cm)
+    s_scaled = strategy_cls().sequence(scaled, cm)
+    n = min(len(s_base), len(s_scaled))
+    assert n >= 1
+    np.testing.assert_allclose(
+        np.asarray(s_scaled.values[:n]), c * np.asarray(s_base.values[:n]), rtol=1e-9
+    )
+
+
+@pytest.mark.parametrize("name", ["exponential", "uniform", "pareto"])
+def test_monte_carlo_scales_with_common_seed(name):
+    """With the same seed the MC estimator consumes the same uniforms, so the
+    rescaled estimate is *exactly* ``c`` times the base one (not just close)."""
+    c = 5.0
+    base, cm, scaled, scaled_cm = _scaled_problem(name, c)
+    values = covering_grid(base)
+    est_base = monte_carlo_expected_cost(
+        ReservationSequence(values), base, cm, n_samples=500, seed=42
+    )
+    est_scaled = monte_carlo_expected_cost(
+        ReservationSequence([c * v for v in values]), scaled, scaled_cm,
+        n_samples=500, seed=42,
+    )
+    assert est_scaled.mean_cost == pytest.approx(c * est_base.mean_cost, rel=1e-9)
+
+
+def test_beta_is_not_rescalable():
+    with pytest.raises(KeyError):
+        rescale_distribution(paper_distribution("beta"), 2.0)

@@ -1,0 +1,60 @@
+"""End-to-end tests of the ``repro-verify`` entry point."""
+
+import json
+
+import pytest
+
+from repro.verification.cli import main
+
+
+def test_quick_run_passes(capsys, tmp_path):
+    out = tmp_path / "report.json"
+    code = main(
+        ["--quick", "--distribution", "exponential", "--output", str(out)]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in captured
+    doc = json.loads(out.read_text())
+    assert doc["summary"]["passed"] is True
+    assert doc["metadata"]["quick"] is True
+    assert {c["distribution"] for c in doc["checks"]} == {"exponential"}
+
+
+def test_oracle_filter(capsys):
+    code = main(
+        ["--quick", "--distribution", "uniform", "--oracle", "thm4_uniform_optimum",
+         "--no-invariants"]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "thm4_uniform_optimum" in captured
+    assert "table5_moments" not in captured
+
+
+def test_metrics_out_includes_verification_counters(tmp_path, capsys):
+    metrics_file = tmp_path / "metrics.json"
+    code = main(
+        ["--quick", "--distribution", "gamma", "--metrics-out", str(metrics_file)]
+    )
+    capsys.readouterr()
+    assert code == 0
+    doc = json.loads(metrics_file.read_text())
+    counters = doc["counters"] if "counters" in doc else doc
+    assert counters["verification.checks"] > 0
+    assert counters.get("verification.failures", 0) == 0
+
+
+def test_unknown_distribution_rejected_by_argparse(capsys):
+    with pytest.raises(SystemExit):
+        main(["--distribution", "cauchy"])
+
+
+def test_list_failures_only_suppresses_table(capsys):
+    code = main(
+        ["--quick", "--distribution", "beta", "--list-failures-only", "--no-invariants"]
+    )
+    captured = capsys.readouterr().out
+    assert code == 0
+    assert "Conformance sweep" not in captured
+    assert "PASS" in captured
