@@ -1,0 +1,168 @@
+"""Service-layer benchmarks: plan cache latency and pooled MC throughput.
+
+Two questions the ``repro.service`` subsystem exists to answer:
+
+1. How much does the plan cache save?  ``test_cold_vs_warm_plan`` times the
+   first (cold: strategy + coverage + MC) and the second (warm: cache fetch)
+   identical ``plan`` request and asserts the warm path is faster and never
+   re-runs the DP (``plancache.hits`` is the proof).
+2. What does the thread backend buy on the 10k-sample Monte-Carlo kernel?
+   ``test_thread_vs_serial_mc`` times both paths.  Wall-clock speedups on
+   shared CI runners are noisy, so the ratio is *recorded*, not asserted —
+   only statistical agreement is enforced.
+
+Timings are hand-rolled ``perf_counter`` medians (these paths are dominated
+by cache lookups and numpy kernels; pytest-benchmark's calibration overhead
+would swamp the cold/warm contrast) and are persisted to
+``BENCH_service.json`` at the repo root (override with ``BENCH_SERVICE_JSON``)
+so successive PRs leave a comparable trajectory.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import observability as obs
+from repro.core.cost import CostModel
+from repro.distributions.registry import make_distribution
+from repro.service.plancache import PlanCache
+from repro.service.planner import PlannerService
+from repro.service.pool import SerialBackend, ThreadBackend
+from repro.simulation.monte_carlo import monte_carlo_expected_cost
+from repro.strategies.registry import make_strategy
+
+_TIMINGS = {}
+
+
+def _median_time(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return float(np.median(samples))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _dump_timings():
+    """After the module's benchmarks finish, persist the collected timings."""
+    yield
+    if not _TIMINGS:
+        return
+    default = os.path.join(os.path.dirname(__file__), "..", "BENCH_service.json")
+    path = os.environ.get("BENCH_SERVICE_JSON", default)
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": _TIMINGS,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+@pytest.fixture()
+def fresh_registry():
+    was_enabled = obs.is_enabled()
+    obs.enable()
+    registry = obs.get_registry()
+    registry.reset()
+    yield registry
+    if not was_enabled:
+        obs.disable()
+
+
+REQUEST = {
+    "distribution": {"law": "lognormal", "params": {"mu": 3.0, "sigma": 0.5}},
+    "strategy": "brute_force",
+    "n_samples": 2000,
+    "seed": 0,
+}
+
+
+def test_cold_vs_warm_plan(fresh_registry):
+    """Warm plan requests must be answered from the cache, and faster."""
+    service = PlannerService(cache=PlanCache(maxsize=32), n_samples=2000)
+
+    started = time.perf_counter()
+    cold = service.plan(REQUEST)
+    cold_s = time.perf_counter() - started
+    assert cold["cached"] is False
+
+    warm_s = _median_time(lambda: service.plan(REQUEST), repeats=20)
+    warm = service.plan(REQUEST)
+    assert warm["cached"] is True
+    assert int(fresh_registry.counter("plancache.hits").value) >= 20
+    # The whole point of the cache: the warm path skips strategy + MC.
+    assert warm_s < cold_s
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+
+    _TIMINGS["plan_cold_vs_warm"] = {
+        "cold_s": cold_s,
+        "warm_median_s": warm_s,
+        "speedup": speedup,
+    }
+
+
+def test_thread_vs_serial_mc(fresh_registry):
+    """Thread-vs-serial MC throughput on the 10k-sample benchmark.
+
+    Asserts statistical agreement (the acceptance criterion); records the
+    wall-clock ratio without asserting it — 2-core CI runners make hard
+    speedup thresholds flaky.
+    """
+    n = 10_000
+    dist = make_distribution("lognormal", mu=3.0, sigma=0.5)
+    cm = CostModel.reservation_only()
+    seq = make_strategy("mean_by_mean").sequence(dist, cm)
+    seq.ensure_covers(float(dist.quantile(0.999)))
+
+    with SerialBackend() as serial_backend:
+        serial_s = _median_time(
+            lambda: monte_carlo_expected_cost(
+                seq, dist, cm, n_samples=n, seed=11, backend=serial_backend
+            ),
+            repeats=5,
+        )
+        serial = monte_carlo_expected_cost(
+            seq, dist, cm, n_samples=n, seed=11, backend=serial_backend
+        )
+
+    jobs = min(4, os.cpu_count() or 1)
+    with ThreadBackend(jobs) as thread_backend:
+        thread_s = _median_time(
+            lambda: monte_carlo_expected_cost(
+                seq, dist, cm, n_samples=n, seed=11, backend=thread_backend
+            ),
+            repeats=5,
+        )
+        parallel = monte_carlo_expected_cost(
+            seq, dist, cm, n_samples=n, seed=11, backend=thread_backend
+        )
+
+    # Acceptance: parallel MC within MC confidence tolerance of serial.
+    tol = 5.0 * float(np.hypot(serial.std_error, parallel.std_error))
+    assert abs(parallel.mean_cost - serial.mean_cost) <= tol
+
+    _TIMINGS["mc_10k_thread_vs_serial"] = {
+        "serial_median_s": serial_s,
+        "thread_median_s": thread_s,
+        "jobs": jobs,
+        "speedup": serial_s / thread_s if thread_s > 0 else float("inf"),
+        "serial_mean_cost": serial.mean_cost,
+        "thread_mean_cost": parallel.mean_cost,
+    }
+
+
+def test_cache_lookup_overhead(fresh_registry):
+    """A warm cache hit should cost microseconds, not milliseconds."""
+    cache = PlanCache(maxsize=256)
+    for i in range(200):
+        cache.put(f"key-{i}", {"plan": [float(i)]})
+
+    hit_s = _median_time(lambda: cache.get("key-100"), repeats=50)
+    _TIMINGS["plancache_get_hit"] = {"median_s": hit_s}
+    assert hit_s < 0.001

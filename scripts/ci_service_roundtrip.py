@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI driver for the `service` job: boot ``repro-serve`` as a real
+subprocess on an ephemeral port, exercise the plan → evaluate → metrics
+round trip, assert the second identical plan request was answered from the
+cache (the ``plancache.hits`` counter is the proof), then SIGTERM and check
+the graceful shutdown wrote the cache snapshot.
+
+Usage:  python scripts/ci_service_roundtrip.py [repro-serve args...]
+Exit status is 0 iff every step passed.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+from repro.service.client import ServiceClient
+
+PARAMS = {"mu": 3.0, "sigma": 0.5}
+
+
+def main() -> int:
+    snap = os.path.join(tempfile.mkdtemp(prefix="repro-serve-ci-"), "snap.json")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.server",
+            "--port", "0",
+            "--backend", "thread", "--jobs", "2",
+            "--n-samples", "1000",
+            "--snapshot-out", snap,
+            *sys.argv[1:],
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        match = None
+        for _ in range(20):  # skip interpreter noise before the banner
+            line = proc.stdout.readline()
+            if not line:
+                break
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            if match:
+                break
+        assert match, "repro-serve never printed its listening line"
+        port = int(match.group(1))
+        print(f"repro-serve up on port {port}")
+
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        assert client.healthz()["status"] == "ok"
+
+        cold = client.plan("lognormal", PARAMS)
+        warm = client.plan("lognormal", PARAMS)
+        assert cold["cached"] is False, "first plan must be computed"
+        assert warm["cached"] is True, "second identical plan must hit the cache"
+        assert warm["key"] == cold["key"]
+
+        ev = client.evaluate("lognormal", PARAMS, n_samples=2000, seed=1)
+        assert ev["cached"] is True
+        lo, hi = ev["evaluation"]["ci95"]
+        assert lo <= ev["evaluation"]["expected_cost"] <= hi
+
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters["plancache.hits"] >= 2, counters
+        print(f"round trip ok (plancache.hits={counters['plancache.hits']})")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        print(proc.stdout.read(), end="")
+
+    assert code == 0, f"repro-serve exited with {code}"
+    assert os.path.exists(snap), "graceful shutdown did not write the snapshot"
+    print("graceful shutdown + snapshot ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -193,12 +193,21 @@ def _run(args, registry) -> int:
         )
     )
 
+    # The content-hash key under which repro-serve would cache this plan
+    # (pure function of law params, cost model, strategy and coverage).
+    from repro.service.keys import plan_key
+
+    cache_key = plan_key(
+        dist, cost_model, args.strategy, coverage=args.coverage
+    )
+
     omniscient = cost_model.omniscient_expected_cost(dist)
     print(f"\nExpected cost:        {stats.mean:.4f}")
     print(f"vs clairvoyant bound: {stats.mean / omniscient:.3f}x ({omniscient:.4f})")
     print(f"Cost std / p95 / p99: {stats.std:.4f} / {stats.cost_p95:.4f} / "
           f"{stats.cost_p99:.4f}")
     print(f"Expected #requests:   {stats.expected_reservations:.2f}")
+    print(f"Plan cache key:       {cache_key[:16]}… (repro-serve)")
 
     # Timing footer (off the timer registry): every run is a smoke benchmark.
     strategy_s = registry.timer_total(f"strategy.{strategy.name}.sequence")
@@ -243,7 +252,7 @@ def _run(args, registry) -> int:
                 "expected_reservations": stats.expected_reservations,
                 "omniscient_cost": omniscient,
             },
-            notes=f"coverage quantile {args.coverage}",
+            notes=f"coverage quantile {args.coverage}; plan cache key {cache_key}",
         )
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(plan_to_json(doc))

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 from scipy import integrate
@@ -62,6 +62,26 @@ class Distribution(abc.ABC):
     @abc.abstractmethod
     def quantile(self, q):
         """Quantile function ``Q(q) = inf { t : F(t) >= q }`` (vectorized)."""
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, object]:
+        """Canonical constructor parameters of this law.
+
+        The contract, relied on by the ``repro.service`` plan cache:
+
+        * ``make_distribution(self.name, **self.params())`` (or the law's own
+          constructor) rebuilds an equal distribution;
+        * two instances describing the same law return the same mapping no
+          matter how they were constructed, so content-hash cache keys built
+          from it (:func:`repro.service.keys.plan_key`) are stable;
+        * any change to a parameter changes the mapping.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement params(); every "
+            "distribution must expose its canonical constructor parameters"
+        )
 
     # ------------------------------------------------------------------
     # Support helpers

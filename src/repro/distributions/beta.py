@@ -92,5 +92,8 @@ class Beta(Distribution):
             raise SupportError(f"beta survival probability vanished at tau={tau}")
         return self.mean() * float(num) / float(den)
 
+    def params(self) -> dict:
+        return {"alpha": self.alpha, "beta": self.beta}
+
     def describe(self) -> str:
         return f"Beta(alpha={self.alpha:g}, beta={self.beta:g})"

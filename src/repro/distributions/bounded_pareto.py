@@ -104,5 +104,8 @@ class BoundedPareto(Distribution):
             H ** (-a) - tau ** (-a)
         )
 
+    def params(self) -> dict:
+        return {"low": self.low, "high": self.high, "alpha": self.alpha}
+
     def describe(self) -> str:
         return f"BoundedPareto(L={self.low:g}, H={self.high:g}, alpha={self.alpha:g})"

@@ -59,6 +59,13 @@ class DiscreteDistribution:
     def __len__(self) -> int:
         return int(self.values.size)
 
+    #: Identifier matching the Distribution.params() cache-key protocol.
+    name = "discrete"
+
+    def params(self) -> dict:
+        """Canonical content identity (support + masses) for cache keys."""
+        return {"values": self.values, "masses": self.masses}
+
     @property
     def tail_deficit(self) -> float:
         """Probability mass discarded by truncation (``eps`` in the paper)."""

@@ -52,6 +52,8 @@ class EmpiricalDistribution(Distribution):
         if tail_margin < 0:
             raise ValueError(f"tail margin must be nonnegative, got {tail_margin}")
         self.samples = samples
+        self.tail_margin = float(tail_margin)
+        self.bandwidth = bandwidth
         self._n = samples.size
         # Support: [min sample, max sample * (1 + margin)] — the margin gives
         # the final reservation headroom over the observed worst case.
@@ -141,6 +143,19 @@ class EmpiricalDistribution(Distribution):
         """Bootstrap-with-interpolation: inverse-transform through the
         interpolated ECDF (smoother than a plain resample)."""
         return super().rvs(size, seed=seed)
+
+    def params(self) -> dict:
+        """Content identity: the sorted trace itself plus the two knobs.
+
+        Samples are stored sorted, so two traces with the same multiset of
+        runtimes produce the same params (and hence the same cache key)
+        regardless of observation order.
+        """
+        return {
+            "samples": self.samples,
+            "tail_margin": self.tail_margin,
+            "bandwidth": self.bandwidth,
+        }
 
     def describe(self) -> str:
         return (

@@ -73,5 +73,8 @@ class Exponential(Distribution):
             return self.mean()
         return tau + 1.0 / self.rate
 
+    def params(self) -> dict:
+        return {"rate": self.rate}
+
     def describe(self) -> str:
         return f"Exponential(rate={self.rate:g})"

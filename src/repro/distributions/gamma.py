@@ -92,5 +92,8 @@ class Gamma(Distribution):
         log_den = log_upper_gamma(self.shape, x)
         return self.shape / self.rate + math.exp(log_num - log_den) / self.rate
 
+    def params(self) -> dict:
+        return {"shape": self.shape, "rate": self.rate}
+
     def describe(self) -> str:
         return f"Gamma(shape={self.shape:g}, rate={self.rate:g})"

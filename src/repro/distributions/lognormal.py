@@ -96,6 +96,9 @@ class LogNormal(Distribution):
         z = (math.log(tau) - self.mu) / self.sigma
         return self.mean() * log_normal_sf_ratio(z - self.sigma, z)
 
+    def params(self) -> dict:
+        return {"mu": self.mu, "sigma": self.sigma}
+
     def describe(self) -> str:
         return f"LogNormal(mu={self.mu:g}, sigma={self.sigma:g})"
 

@@ -92,5 +92,8 @@ class Pareto(Distribution):
             return self.mean()
         return self.alpha * tau / (self.alpha - 1.0)
 
+    def params(self) -> dict:
+        return {"scale": self.scale, "alpha": self.alpha}
+
     def describe(self) -> str:
         return f"Pareto(scale={self.scale:g}, alpha={self.alpha:g})"

@@ -82,5 +82,12 @@ class LeftTruncated(Distribution):
         # restricted to the new support.
         return super().second_moment()
 
+    def params(self) -> dict:
+        """Nested token: the base law's canonical params plus the cut point."""
+        return {
+            "base": {"law": self.base.name, "params": self.base.params()},
+            "cut": self.cut,
+        }
+
     def describe(self) -> str:
         return f"LeftTruncated({self.base.describe()}, cut={self.cut:g})"

@@ -34,6 +34,7 @@ class TruncatedNormal(Distribution):
         if sigma2 <= 0:
             raise ValueError(f"variance must be positive, got {sigma2}")
         self.mu = float(mu)
+        self.sigma2 = float(sigma2)
         self.sigma = math.sqrt(float(sigma2))
         self.a = float(a)
         # Mass of the parent Gaussian above the truncation point.
@@ -99,6 +100,9 @@ class TruncatedNormal(Distribution):
             return self.mean()
         z = (tau - self.mu) / self.sigma
         return self.mu + self.sigma * normal_hazard(z)
+
+    def params(self) -> dict:
+        return {"mu": self.mu, "sigma2": self.sigma2, "a": self.a}
 
     def describe(self) -> str:
         return (

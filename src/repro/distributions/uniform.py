@@ -73,5 +73,8 @@ class Uniform(Distribution):
             )
         return 0.5 * (self.b + tau)
 
+    def params(self) -> dict:
+        return {"a": self.a, "b": self.b}
+
     def describe(self) -> str:
         return f"Uniform(a={self.a:g}, b={self.b:g})"

@@ -93,6 +93,9 @@ class Weibull(Distribution):
         x = (tau / self.scale) ** self.shape
         return self.scale * exp_scaled_upper_gamma(1.0 + 1.0 / self.shape, x)
 
+    def params(self) -> dict:
+        return {"scale": self.scale, "shape": self.shape}
+
     def describe(self) -> str:
         return f"Weibull(scale={self.scale:g}, shape={self.shape:g})"
 

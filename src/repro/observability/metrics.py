@@ -7,6 +7,12 @@ a JSON document (``repro-plan --metrics-out``, the experiment harness's
 default registry and no-op when instrumentation is disabled — the disabled
 path is one attribute read + bool check, so the calls can stay in hot loops.
 
+Every metric object carries its own lock and the registry locks its name
+maps, so concurrent recording from the ``repro.service`` worker pools and
+the threaded HTTP front end is lossless (see
+``tests/observability/test_metrics_concurrency.py``).  The disabled fast
+path never touches a lock.
+
 No external dependencies; everything is plain stdlib.
 """
 
@@ -15,6 +21,7 @@ from __future__ import annotations
 import functools
 import json
 import math
+import threading
 import time as _time
 from collections import deque
 from typing import Callable, Dict, Iterable, Optional
@@ -41,16 +48,18 @@ HISTOGRAM_WINDOW = 65_536
 
 
 class Counter:
-    """Monotonic counter."""
+    """Monotonic counter (safe to increment from multiple threads)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, n: float = 1.0) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def to_dict(self) -> float:
         v = self.value
@@ -60,7 +69,7 @@ class Counter:
 class Gauge:
     """Last-value gauge with min/max watermarks."""
 
-    __slots__ = ("name", "value", "min", "max", "n_sets")
+    __slots__ = ("name", "value", "min", "max", "n_sets", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -68,13 +77,15 @@ class Gauge:
         self.min = math.inf
         self.max = -math.inf
         self.n_sets = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         value = float(value)
-        self.value = value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        self.n_sets += 1
+        with self._lock:
+            self.value = value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            self.n_sets += 1
 
     def to_dict(self) -> Dict[str, float]:
         if self.n_sets == 0:
@@ -94,7 +105,7 @@ class ValueHistogram:
     recent observations for the p50/p95/p99 summaries.
     """
 
-    __slots__ = ("name", "unit", "count", "total", "min", "max", "_window")
+    __slots__ = ("name", "unit", "count", "total", "min", "max", "_window", "_lock")
 
     def __init__(self, name: str, unit: str = ""):
         self.name = name
@@ -104,16 +115,18 @@ class ValueHistogram:
         self.min = math.inf
         self.max = -math.inf
         self._window: deque = deque(maxlen=HISTOGRAM_WINDOW)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self._window.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._window.append(value)
 
     @property
     def mean(self) -> float:
@@ -121,9 +134,10 @@ class ValueHistogram:
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the retained window (q in [0, 100])."""
-        if not self._window:
+        with self._lock:  # snapshot: sorting a live deque races with observe()
+            ordered = sorted(self._window)
+        if not ordered:
             return math.nan
-        ordered = sorted(self._window)
         rank = max(0, min(len(ordered) - 1, math.ceil(q / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -202,24 +216,28 @@ class Registry:
         self._gauges: Dict[str, Gauge] = {}
         self._timers: Dict[str, ValueHistogram] = {}
         self._histograms: Dict[str, ValueHistogram] = {}
+        self._lock = threading.Lock()
 
     # -- accessors (create on first use) -------------------------------
     def counter(self, name: str) -> Counter:
         c = self._counters.get(name)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
         return c
 
     def gauge(self, name: str) -> Gauge:
         g = self._gauges.get(name)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name))
         return g
 
     def histogram(self, name: str, unit: str = "") -> ValueHistogram:
         h = self._histograms.get(name)
         if h is None:
-            h = self._histograms[name] = ValueHistogram(name, unit=unit)
+            with self._lock:
+                h = self._histograms.setdefault(name, ValueHistogram(name, unit=unit))
         return h
 
     def timer(self, name: str) -> _TimerHandle:
@@ -248,7 +266,8 @@ class Registry:
         check belongs to whoever took the timing)."""
         t = self._timers.get(name)
         if t is None:
-            t = self._timers[name] = ValueHistogram(name, unit="s")
+            with self._lock:
+                t = self._timers.setdefault(name, ValueHistogram(name, unit="s"))
         t.observe(seconds)
 
     def timer_total(self, name: str) -> float:
@@ -266,10 +285,11 @@ class Registry:
         return dict(self._timers)
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._timers.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._histograms.clear()
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -1,0 +1,112 @@
+"""Minimal stdlib client for a running ``repro-serve`` instance.
+
+Wraps the four endpoints in typed helpers::
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    resp = client.plan("lognormal", {"mu": 3.0, "sigma": 0.5},
+                       strategy="mean_by_mean")
+    resp["cached"]                      # False first time, True after
+    client.evaluate("lognormal", {"mu": 3.0, "sigma": 0.5}, n_samples=20000)
+    client.metrics()["metrics"]["counters"]["plancache.hits"]
+
+Errors: non-2xx responses raise :class:`ServiceHTTPError` carrying the
+status code and the server's ``error`` message; connection failures raise
+the underlying ``URLError``.  Only ``urllib`` — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Mapping, Optional
+
+__all__ = ["ServiceHTTPError", "ServiceClient"]
+
+
+class ServiceHTTPError(RuntimeError):
+    """The server answered with a non-2xx status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """HTTP client for the planner service."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, path: str, body: Optional[dict] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, OSError):
+                message = exc.reason or ""
+            raise ServiceHTTPError(exc.code, str(message)) from None
+
+    # -- endpoints -----------------------------------------------------
+    def plan(
+        self,
+        law: str,
+        params: Mapping,
+        cost_model: Optional[Mapping] = None,
+        strategy="mean_by_mean",
+        coverage: Optional[float] = None,
+        n_samples: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> dict:
+        return self._request("/plan", self._body(
+            law, params, cost_model, strategy, coverage, n_samples, seed
+        ))
+
+    def evaluate(
+        self,
+        law: str,
+        params: Mapping,
+        cost_model: Optional[Mapping] = None,
+        strategy="mean_by_mean",
+        coverage: Optional[float] = None,
+        n_samples: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> dict:
+        return self._request("/evaluate", self._body(
+            law, params, cost_model, strategy, coverage, n_samples, seed
+        ))
+
+    def healthz(self) -> dict:
+        return self._request("/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("/metrics")
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _body(law, params, cost_model, strategy, coverage, n_samples, seed) -> dict:
+        body: dict = {
+            "distribution": {"law": law, "params": dict(params)},
+            "strategy": strategy,
+        }
+        if cost_model is not None:
+            body["cost_model"] = dict(cost_model)
+        if coverage is not None:
+            body["coverage"] = coverage
+        if n_samples is not None:
+            body["n_samples"] = n_samples
+        if seed is not None:
+            body["seed"] = seed
+        return body

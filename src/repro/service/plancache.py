@@ -1,0 +1,191 @@
+"""Thread-safe LRU plan cache with TTL and a JSON warm-start snapshot.
+
+The cache stores JSON-serializable plan payloads keyed by the content hashes
+of :mod:`repro.service.keys`.  Three properties matter for the service:
+
+* **bounded** — at most ``maxsize`` entries, least-recently-*used* evicted
+  first;
+* **fresh** — entries older than ``ttl`` seconds (wall clock, so snapshots
+  age correctly across processes) are treated as misses and dropped;
+* **observable** — hits, misses, evictions and expirations are counted in
+  :mod:`repro.observability.metrics` (``plancache.*``), which is how the
+  ``/metrics`` endpoint and the CI round-trip assert cache behavior.
+
+``get_or_compute`` is single-flight per key: concurrent requests for the
+same uncached plan serialize on a striped key lock, so an expensive DP runs
+once instead of once per waiter (different keys still compute in parallel).
+
+Snapshots (:meth:`PlanCache.save` / :meth:`PlanCache.load`) persist entries
+with their creation timestamps, so a restarted server warm-starts with the
+same keys and remaining TTLs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.observability import metrics
+
+__all__ = ["PlanCache", "SNAPSHOT_VERSION"]
+
+SNAPSHOT_VERSION = 1
+
+#: Number of striped single-flight locks (bounds memory; collisions only
+#: serialize two *different* cold keys, never corrupt anything).
+_N_STRIPES = 64
+
+
+class PlanCache:
+    """Bounded, thread-safe, TTL-aware LRU mapping ``key -> payload``."""
+
+    def __init__(
+        self,
+        maxsize: int = 256,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive (or None), got {ttl}")
+        self.maxsize = int(maxsize)
+        self.ttl = ttl
+        self._clock = clock
+        self._data: "OrderedDict[str, Tuple[float, dict]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stripes = [threading.Lock() for _ in range(_N_STRIPES)]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def _expired(self, created_at: float) -> bool:
+        return self.ttl is not None and self._clock() - created_at > self.ttl
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Return the cached payload or ``None`` (counting hit/miss)."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is not None and self._expired(entry[0]):
+                del self._data[key]
+                metrics.inc("plancache.expirations")
+                entry = None
+            if entry is None:
+                metrics.inc("plancache.misses")
+                return None
+            self._data.move_to_end(key)
+            metrics.inc("plancache.hits")
+            return entry[1]
+
+    def put(self, key: str, payload: dict, created_at: Optional[float] = None) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail past maxsize."""
+        stamp = self._clock() if created_at is None else float(created_at)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = (stamp, payload)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                metrics.inc("plancache.evictions")
+            metrics.set_gauge("plancache.size", len(self._data))
+
+    def get_or_compute(
+        self, key: str, factory: Callable[[], dict]
+    ) -> Tuple[dict, bool]:
+        """Return ``(payload, was_cached)``, computing at most once per key.
+
+        The factory runs outside the cache lock (it may take seconds for a
+        DP plan) but inside a per-key stripe lock, so concurrent identical
+        requests wait for one computation instead of duplicating it.
+        """
+        payload = self.get(key)
+        if payload is not None:
+            return payload, True
+        stripe = self._stripes[hash(key) % _N_STRIPES]
+        with stripe:
+            payload = self.get(key)  # a waiter finds the winner's entry here
+            if payload is not None:
+                return payload, True
+            with metrics.timer("plancache.compute"):
+                payload = factory()
+            self.put(key, payload)
+            return payload, False
+
+    def invalidate(self, key: str) -> bool:
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            metrics.set_gauge("plancache.size", 0)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Size/bounds snapshot (counters live in the metrics registry)."""
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+                "ttl": self.ttl,
+            }
+
+    # ------------------------------------------------------------------
+    # Warm-start snapshot
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> int:
+        """Write every live entry (LRU order) as JSON; returns the count."""
+        with self._lock:
+            entries = [
+                {"key": key, "created_at": created_at, "payload": payload}
+                for key, (created_at, payload) in self._data.items()
+                if not self._expired(created_at)
+            ]
+        doc = {
+            "version": SNAPSHOT_VERSION,
+            "saved_at": self._clock(),
+            "maxsize": self.maxsize,
+            "ttl": self.ttl,
+            "entries": entries,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        metrics.inc("plancache.snapshots_saved")
+        return len(entries)
+
+    def load(self, path: str) -> int:
+        """Merge a snapshot into the cache; returns entries actually loaded.
+
+        Entries keep their original ``created_at`` so TTLs keep aging across
+        the restart; expired or malformed entries are skipped, and a version
+        mismatch loads nothing (the key schema may have changed).
+        """
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or doc.get("version") != SNAPSHOT_VERSION:
+            metrics.inc("plancache.snapshot_version_mismatch")
+            return 0
+        loaded = 0
+        for entry in doc.get("entries", []):
+            try:
+                key = str(entry["key"])
+                created_at = float(entry["created_at"])
+                payload = entry["payload"]
+            except (KeyError, TypeError, ValueError):
+                continue
+            if self._expired(created_at) or not isinstance(payload, dict):
+                continue
+            self.put(key, payload, created_at=created_at)
+            loaded += 1
+        metrics.inc("plancache.snapshot_entries_loaded", loaded)
+        return loaded

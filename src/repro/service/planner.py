@@ -1,0 +1,337 @@
+"""Planner-as-a-service core: request parsing, cached planning, evaluation.
+
+:class:`PlannerService` is the transport-free heart of the service — the
+HTTP front end (:mod:`repro.service.server`) and in-process embedders both
+talk to it with plain dicts:
+
+Plan request::
+
+    {"distribution": {"law": "lognormal", "params": {"mu": 3.0, "sigma": 0.5}},
+     "cost_model":  {"alpha": 1.0, "beta": 0.0, "gamma": 0.0},   # optional
+     "strategy":    {"name": "mean_by_mean", "knobs": {}},        # or "name"
+     "coverage":    0.999,                                        # optional
+     "n_samples":   5000, "seed": 0}                              # optional
+
+The response carries the content-hash ``key``, a ``cached`` flag, the
+materialized reservation list and Monte-Carlo statistics.  Identical
+requests hit the plan cache and are answered without re-running the
+strategy (DP / brute-force scan) — the ``plancache.hits`` counter is the
+observable proof.
+
+Evaluate requests reuse the cached plan artifact: the stored reservation
+list is costed against a fresh Monte-Carlo sample set (optionally through
+the parallel pool).  Samples beyond the plan's coverage horizon are served
+by a doubling tail extension — by construction less than ``1 - coverage``
+of the probability mass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.sequence import ReservationSequence
+from repro.distributions.registry import DISTRIBUTION_FACTORIES, make_distribution
+from repro.observability import metrics
+from repro.service.keys import plan_key
+from repro.service.plancache import PlanCache
+from repro.service.pool import ExecutionBackend, SerialBackend, get_backend
+from repro.simulation.monte_carlo import monte_carlo_expected_cost
+from repro.strategies.registry import PAPER_STRATEGY_ORDER, make_strategy
+
+__all__ = ["ServiceError", "PlannerService", "PAYLOAD_VERSION"]
+
+PAYLOAD_VERSION = 1
+
+DEFAULT_COVERAGE = 0.999
+DEFAULT_N_SAMPLES = 5000
+MAX_N_SAMPLES = 2_000_000
+
+
+class ServiceError(ValueError):
+    """Invalid request; ``status`` is the HTTP code the front end returns."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _plain(obj):
+    """Numpy-free copy of a params/stats structure for JSON payloads."""
+    if isinstance(obj, np.ndarray):
+        return [_plain(v) for v in obj.tolist()]
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, Mapping):
+        return {str(k): _plain(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_plain(v) for v in obj]
+    return obj
+
+
+def _require_mapping(request, field: str, default=None) -> dict:
+    value = request.get(field, default)
+    if value is None:
+        raise ServiceError(f"request is missing {field!r}")
+    if not isinstance(value, Mapping):
+        raise ServiceError(f"{field!r} must be an object, got {type(value).__name__}")
+    return dict(value)
+
+
+def _parse_distribution(request):
+    spec = _require_mapping(request, "distribution")
+    law = spec.get("law") or spec.get("name")
+    if not law:
+        raise ServiceError("distribution needs a 'law' (or 'name') field")
+    if law not in DISTRIBUTION_FACTORIES:
+        raise ServiceError(
+            f"unknown distribution {law!r}; known: {sorted(DISTRIBUTION_FACTORIES)}"
+        )
+    params = spec.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ServiceError("distribution 'params' must be an object")
+    try:
+        return make_distribution(str(law), **{str(k): v for k, v in params.items()})
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"bad distribution parameters: {exc}") from None
+
+
+def _parse_cost_model(request) -> CostModel:
+    spec = _require_mapping(request, "cost_model", default={})
+    try:
+        return CostModel(
+            alpha=float(spec.get("alpha", 1.0)),
+            beta=float(spec.get("beta", 0.0)),
+            gamma=float(spec.get("gamma", 0.0)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"bad cost model: {exc}") from None
+
+
+def _parse_strategy(request) -> Tuple[str, dict]:
+    spec = request.get("strategy", "mean_by_mean")
+    if isinstance(spec, str):
+        spec = {"name": spec}
+    if not isinstance(spec, Mapping):
+        raise ServiceError("'strategy' must be a name or an object")
+    name = str(spec.get("name", "")).lower().replace("-", "_")
+    if name not in PAPER_STRATEGY_ORDER:
+        raise ServiceError(
+            f"unknown strategy {name!r}; known: {PAPER_STRATEGY_ORDER}"
+        )
+    knobs = spec.get("knobs", {})
+    if not isinstance(knobs, Mapping):
+        raise ServiceError("strategy 'knobs' must be an object")
+    return name, {str(k): v for k, v in knobs.items()}
+
+
+def _parse_coverage(request) -> float:
+    coverage = float(request.get("coverage", DEFAULT_COVERAGE))
+    if not 0.0 < coverage < 1.0:
+        raise ServiceError("'coverage' must lie strictly between 0 and 1")
+    return coverage
+
+
+def _parse_evaluation(request, default_n: int, default_seed: int) -> Tuple[int, int]:
+    try:
+        n_samples = int(request.get("n_samples", default_n))
+        seed = int(request.get("seed", default_seed))
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"bad evaluation settings: {exc}") from None
+    if not 0 < n_samples <= MAX_N_SAMPLES:
+        raise ServiceError(f"'n_samples' must be in (0, {MAX_N_SAMPLES}]")
+    return n_samples, seed
+
+
+def _doubling_tail(values: np.ndarray) -> float:
+    return float(values[-1]) * 2.0
+
+
+class PlannerService:
+    """Long-lived planning service: cache + execution backend + planner."""
+
+    def __init__(
+        self,
+        cache: Optional[PlanCache] = None,
+        backend: Optional[ExecutionBackend] = None,
+        n_samples: int = DEFAULT_N_SAMPLES,
+        seed: int = 0,
+    ):
+        self.cache = cache if cache is not None else PlanCache()
+        self.backend = backend if backend is not None else SerialBackend()
+        self.default_n_samples = int(n_samples)
+        self.default_seed = int(seed)
+        self.started_at = time.time()
+
+    @classmethod
+    def from_options(
+        cls,
+        cache_size: int = 256,
+        ttl: Optional[float] = None,
+        backend: str = "serial",
+        jobs: int = 1,
+        n_samples: int = DEFAULT_N_SAMPLES,
+        seed: int = 0,
+    ) -> "PlannerService":
+        return cls(
+            cache=PlanCache(maxsize=cache_size, ttl=ttl),
+            backend=get_backend(backend, jobs),
+            n_samples=n_samples,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(self, request: Mapping) -> Dict[str, object]:
+        """Compute (or fetch) the plan for ``request``; see module docstring."""
+        metrics.inc("service.plan_requests")
+        distribution = _parse_distribution(request)
+        cost_model = _parse_cost_model(request)
+        strategy_name, knobs = _parse_strategy(request)
+        coverage = _parse_coverage(request)
+        n_samples, seed = _parse_evaluation(
+            request, self.default_n_samples, self.default_seed
+        )
+        # The key deliberately excludes n_samples/seed: the plan artifact is a
+        # pure function of (law, costs, strategy, coverage); the statistics
+        # stored alongside are advisory (use /evaluate for fresh numbers).
+        key = plan_key(
+            distribution,
+            cost_model,
+            strategy_name,
+            knobs=knobs,
+            coverage=coverage,
+        )
+
+        def compute() -> dict:
+            return self._compute_plan(
+                key, distribution, cost_model, strategy_name, knobs, coverage,
+                n_samples, seed,
+            )
+
+        with metrics.timer("service.plan"):
+            payload, cached = self.cache.get_or_compute(key, compute)
+        response = dict(payload)
+        response["cached"] = cached
+        return response
+
+    def _compute_plan(
+        self, key, distribution, cost_model, strategy_name, knobs, coverage,
+        n_samples, seed,
+    ) -> dict:
+        try:
+            strategy = make_strategy(strategy_name, **knobs)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"bad strategy knobs: {exc}") from None
+        with metrics.timer("service.plan_compute"):
+            sequence = strategy.sequence(distribution, cost_model)
+            sequence.ensure_covers(float(distribution.quantile(coverage)))
+            reservations = [float(v) for v in sequence.values]
+            mc = monte_carlo_expected_cost(
+                sequence,
+                distribution,
+                cost_model,
+                n_samples=n_samples,
+                seed=seed,
+                backend=self.backend,
+            )
+        omniscient = cost_model.omniscient_expected_cost(distribution)
+        return {
+            "version": PAYLOAD_VERSION,
+            "key": key,
+            "plan": {
+                "reservations": reservations,
+                "strategy": strategy_name,
+                "knobs": _plain(knobs),
+                "coverage": coverage,
+                "distribution": {
+                    "law": distribution.name,
+                    "params": _plain(distribution.params()),
+                },
+                "cost_model": {
+                    "alpha": cost_model.alpha,
+                    "beta": cost_model.beta,
+                    "gamma": cost_model.gamma,
+                },
+            },
+            "statistics": {
+                "expected_cost": mc.mean_cost,
+                "std_error": mc.std_error,
+                "omniscient_cost": omniscient,
+                "normalized_cost": mc.mean_cost / omniscient,
+                "n_samples": mc.n_samples,
+                "seed": seed,
+                "max_reservations_hit": mc.max_reservations_hit,
+            },
+            "computed_at": time.time(),
+        }
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, request: Mapping) -> Dict[str, object]:
+        """Monte-Carlo re-evaluation of a plan's reservation artifact.
+
+        The plan is resolved through the cache (planning it on a miss), so a
+        warm evaluate never re-runs the strategy; only the sampling runs,
+        through the service's execution backend.
+        """
+        metrics.inc("service.evaluate_requests")
+        plan_response = self.plan(request)
+        distribution = _parse_distribution(request)
+        cost_model = _parse_cost_model(request)
+        n_samples, seed = _parse_evaluation(
+            request, self.default_n_samples, self.default_seed
+        )
+        values = np.asarray(plan_response["plan"]["reservations"], dtype=float)
+        sequence = ReservationSequence(
+            values, extend=_doubling_tail, name=plan_response["plan"]["strategy"]
+        )
+        with metrics.timer("service.evaluate"):
+            mc = monte_carlo_expected_cost(
+                sequence,
+                distribution,
+                cost_model,
+                n_samples=n_samples,
+                seed=seed,
+                backend=self.backend,
+            )
+        lo, hi = mc.confidence_interval()
+        omniscient = cost_model.omniscient_expected_cost(distribution)
+        return {
+            "version": PAYLOAD_VERSION,
+            "key": plan_response["key"],
+            "cached": plan_response["cached"],
+            "evaluation": {
+                "expected_cost": mc.mean_cost,
+                "std_error": mc.std_error,
+                "ci95": [lo, hi],
+                "omniscient_cost": omniscient,
+                "normalized_cost": mc.mean_cost / omniscient,
+                "n_samples": mc.n_samples,
+                "seed": seed,
+                "max_reservations_hit": mc.max_reservations_hit,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_at,
+            "backend": self.backend.kind,
+            "cache": self.cache.stats(),
+        }
+
+    def metrics_payload(self) -> Dict[str, object]:
+        return {
+            "metrics": metrics.get_registry().to_dict(),
+            "cache": self.cache.stats(),
+            "uptime_s": time.time() - self.started_at,
+        }

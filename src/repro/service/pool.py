@@ -1,0 +1,221 @@
+"""Pluggable execution backends: serial, thread pool, process pool.
+
+Everything embarrassingly parallel in this library — Monte-Carlo chunk
+costing (Eq. 13), the verification sweep's (cost model x distribution)
+cells, the experiment harness's artifact list — funnels through one small
+interface::
+
+    backend = get_backend("thread", jobs=4)
+    results = backend.map(fn, items)            # ordered, like map()
+    results = backend.map(fn, items, timeout=5.0, retries=1)
+
+Design choices:
+
+* ``map`` preserves input order and is strict: a task that still fails
+  after ``retries`` resubmissions raises :class:`PoolError` (partial
+  results are never silently dropped).
+* ``timeout`` is per task attempt.  Thread workers cannot be interrupted
+  mid-flight, so a timed-out attempt may keep running in the background
+  while its retry proceeds — acceptable for the pure compute tasks used
+  here, and the reason the default backend for in-process work is threads
+  (numpy releases the GIL in the vectorized kernels).
+* The process backend requires picklable functions and arguments
+  (module-level functions; reservation sequences holding extender closures
+  are *not* picklable — sample/extend first, then ship arrays).
+* ``SerialBackend`` is the default everywhere and runs tasks inline in
+  submission order, preserving the library's bit-identical seeded behavior
+  (``jobs=1`` never changes results).
+
+Metrics (``pool.*``): tasks, retries, timeouts, failures, and a ``pool.map``
+timer, all no-ops unless observability is enabled.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.observability import metrics
+
+__all__ = [
+    "PoolError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "get_backend",
+    "BACKEND_KINDS",
+    "chunk_sizes",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+BACKEND_KINDS = ("serial", "thread", "process")
+
+
+class PoolError(RuntimeError):
+    """A task exhausted its retry budget (the original error is chained)."""
+
+
+def chunk_sizes(n_items: int, n_chunks: int) -> List[int]:
+    """Split ``n_items`` into ``n_chunks`` nearly equal positive chunk sizes.
+
+    Returns fewer than ``n_chunks`` entries when there are fewer items than
+    chunks; sizes differ by at most one and sum to ``n_items``.
+    """
+    if n_items < 1:
+        raise ValueError(f"need at least one item, got {n_items}")
+    if n_chunks < 1:
+        raise ValueError(f"need at least one chunk, got {n_chunks}")
+    n_chunks = min(n_chunks, n_items)
+    base, rem = divmod(n_items, n_chunks)
+    return [base + (1 if i < rem else 0) for i in range(n_chunks)]
+
+
+class ExecutionBackend(abc.ABC):
+    """Ordered fan-out of a function over a sequence of items."""
+
+    #: Identifier used in metrics and the ``/healthz`` payload.
+    kind: str = "backend"
+
+    @abc.abstractmethod
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        timeout: Optional[float] = None,
+        retries: int = 0,
+    ) -> List[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; serial backend is a no-op)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} kind={self.kind!r}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution in submission order (the deterministic default).
+
+    ``timeout`` is ignored: there is no second thread to bound an inline
+    call with, and the serial path exists precisely to reproduce the
+    unpooled behavior exactly.
+    """
+
+    kind = "serial"
+
+    def map(self, fn, items, timeout=None, retries=0):
+        results = []
+        with metrics.timer("pool.map"):
+            for item in items:
+                metrics.inc("pool.tasks")
+                attempt = 0
+                while True:
+                    try:
+                        results.append(fn(item))
+                        break
+                    except Exception as exc:
+                        attempt += 1
+                        if attempt > retries:
+                            metrics.inc("pool.failures")
+                            raise PoolError(
+                                f"task failed after {attempt} attempt(s): {exc}"
+                            ) from exc
+                        metrics.inc("pool.retries")
+        return results
+
+
+class _ExecutorBackend(ExecutionBackend):
+    """Shared submit/collect loop for the concurrent.futures backends."""
+
+    def __init__(self, executor: concurrent.futures.Executor, jobs: int):
+        self._executor = executor
+        self.jobs = jobs
+
+    def map(self, fn, items, timeout=None, retries=0):
+        items = list(items)
+        futures = [self._executor.submit(fn, item) for item in items]
+        metrics.inc("pool.tasks", len(items))
+        results: List = [None] * len(items)
+        with metrics.timer("pool.map"):
+            for i, future in enumerate(futures):
+                attempts = 0
+                while True:
+                    try:
+                        results[i] = future.result(timeout=timeout)
+                        break
+                    except Exception as exc:
+                        if isinstance(exc, concurrent.futures.TimeoutError):
+                            metrics.inc("pool.timeouts")
+                        attempts += 1
+                        if attempts > retries:
+                            metrics.inc("pool.failures")
+                            for pending in futures[i:]:
+                                pending.cancel()
+                            raise PoolError(
+                                f"task {i} failed after {attempts} attempt(s): "
+                                f"{exc!r}"
+                            ) from exc
+                        metrics.inc("pool.retries")
+                        future = self._executor.submit(fn, items[i])
+        return results
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+
+class ThreadBackend(_ExecutorBackend):
+    """Thread pool — the right choice for numpy-heavy tasks (GIL released)."""
+
+    kind = "thread"
+
+    def __init__(self, jobs: int = 0):
+        jobs = _resolve_jobs(jobs)
+        super().__init__(
+            concurrent.futures.ThreadPoolExecutor(
+                max_workers=jobs, thread_name_prefix="repro-pool"
+            ),
+            jobs,
+        )
+
+
+class ProcessBackend(_ExecutorBackend):
+    """Process pool — for pure-Python CPU-bound tasks; requires picklability."""
+
+    kind = "process"
+
+    def __init__(self, jobs: int = 0):
+        jobs = _resolve_jobs(jobs)
+        super().__init__(concurrent.futures.ProcessPoolExecutor(max_workers=jobs), jobs)
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    return jobs or (os.cpu_count() or 1)
+
+
+def get_backend(kind: Optional[str] = "serial", jobs: int = 1) -> ExecutionBackend:
+    """Instantiate a backend by name.
+
+    ``jobs <= 1`` (or ``kind in (None, "serial")``) always yields the
+    serial backend, so callers can thread a single ``--jobs N`` flag
+    through without special-casing determinism.
+    """
+    if kind is not None and kind not in BACKEND_KINDS:
+        raise KeyError(f"unknown backend {kind!r}; known: {BACKEND_KINDS}")
+    if kind in (None, "serial") or jobs <= 1:
+        return SerialBackend()
+    if kind == "thread":
+        return ThreadBackend(jobs)
+    return ProcessBackend(jobs)

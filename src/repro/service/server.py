@@ -1,0 +1,262 @@
+"""``repro-serve`` — stdlib JSON/HTTP front end for the planner service.
+
+Endpoints:
+
+* ``POST /plan``      — compute or fetch a reservation plan (plan cache);
+* ``POST /evaluate``  — Monte-Carlo re-evaluation of a plan's reservations;
+* ``GET  /healthz``   — liveness + backend/cache summary (never throttled);
+* ``GET  /metrics``   — the full metrics registry + cache stats as JSON.
+
+Admission control: at most ``max_inflight`` POST requests execute
+concurrently; excess requests are answered immediately with ``429 Too Many
+Requests`` and a ``Retry-After`` hint instead of queueing unboundedly —
+under overload a planner that sheds load stays responsive for the requests
+it does admit.  ``/healthz`` and ``/metrics`` bypass admission so operators
+can always observe an overloaded server.
+
+Graceful shutdown: SIGINT/SIGTERM stop the accept loop, in-flight requests
+finish, and (with ``--snapshot-out``) the plan cache is persisted for the
+next boot's ``--warm-start``.
+
+Built only on ``http.server``/``socketserver`` — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+from repro import observability as obs
+from repro.observability import metrics
+from repro.service.planner import PlannerService, ServiceError
+
+__all__ = ["PlanServer", "serve", "main"]
+
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class PlanServer(ThreadingHTTPServer):
+    """Threaded HTTP server with a bounded in-flight request budget."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: PlannerService,
+        max_inflight: int = 8,
+    ):
+        super().__init__(address, _Handler)
+        if max_inflight < 0:
+            raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
+        self.service = service
+        self.max_inflight = max_inflight
+        self._admission = threading.Semaphore(max_inflight)
+
+    def try_admit(self) -> bool:
+        return self._admission.acquire(blocking=False)
+
+    def release(self) -> None:
+        self._admission.release()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: PlanServer  # narrowed for attribute access below
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # default logs every request to stderr
+        pass
+
+    def _send_json(self, status: int, payload: dict, extra_headers=()) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, extra_headers=()) -> None:
+        metrics.inc(f"server.responses.{status}")
+        self._send_json(status, {"error": message}, extra_headers)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ServiceError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ServiceError("request body too large", status=413)
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        return body
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:
+        metrics.inc("server.requests")
+        if self.path == "/healthz":
+            self._send_json(200, self.server.service.health())
+        elif self.path == "/metrics":
+            self._send_json(200, self.server.service.metrics_payload())
+        else:
+            self._error(404, f"unknown endpoint {self.path!r}")
+
+    def do_POST(self) -> None:
+        metrics.inc("server.requests")
+        if self.path not in ("/plan", "/evaluate"):
+            self._error(404, f"unknown endpoint {self.path!r}")
+            return
+        if not self.server.try_admit():
+            metrics.inc("server.throttled")
+            self._error(
+                429,
+                f"server at capacity ({self.server.max_inflight} in-flight)",
+                extra_headers=[("Retry-After", "1")],
+            )
+            return
+        try:
+            body = self._read_body()
+            if self.path == "/plan":
+                self._send_json(200, self.server.service.plan(body))
+            else:
+                self._send_json(200, self.server.service.evaluate(body))
+            metrics.inc("server.responses.200")
+        except ServiceError as exc:
+            self._error(exc.status, str(exc))
+        except Exception as exc:  # noqa: BLE001 - service must not die per-request
+            metrics.inc("server.errors")
+            self._error(500, f"internal error: {type(exc).__name__}: {exc}")
+        finally:
+            self.server.release()
+
+
+def serve(
+    service: PlannerService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_inflight: int = 8,
+) -> PlanServer:
+    """Bind a :class:`PlanServer` (``port=0`` picks an ephemeral port).
+
+    The caller owns the accept loop: run ``server.serve_forever()`` inline or
+    in a thread, and ``server.shutdown()`` to stop.
+    """
+    return PlanServer((host, port), service, max_inflight=max_inflight)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve reservation plans over JSON/HTTP with a plan "
+        "cache and a parallel execution backend.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=256, help="plan cache capacity"
+    )
+    parser.add_argument(
+        "--ttl", type=float, default=None, help="plan cache TTL in seconds"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="execution backend for Monte-Carlo evaluation (default: thread)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="worker count (0 = one per CPU)"
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="admitted concurrent POST requests; beyond this, 429",
+    )
+    parser.add_argument(
+        "--n-samples",
+        type=int,
+        default=5000,
+        help="default Monte-Carlo samples per plan/evaluate request",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="default RNG seed")
+    parser.add_argument(
+        "--warm-start",
+        metavar="FILE",
+        default=None,
+        help="load a plan-cache snapshot before serving",
+    )
+    parser.add_argument(
+        "--snapshot-out",
+        metavar="FILE",
+        default=None,
+        help="write a plan-cache snapshot on shutdown",
+    )
+    args = parser.parse_args(argv)
+
+    obs.enable()
+    service = PlannerService.from_options(
+        cache_size=args.cache_size,
+        ttl=args.ttl,
+        backend=args.backend,
+        jobs=args.jobs,
+        n_samples=args.n_samples,
+        seed=args.seed,
+    )
+    if args.warm_start:
+        try:
+            loaded = service.cache.load(args.warm_start)
+            print(f"Warm start: {loaded} plan(s) from {args.warm_start}")
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"Warm start skipped ({exc})", file=sys.stderr)
+
+    server = serve(
+        service, host=args.host, port=args.port, max_inflight=args.max_inflight
+    )
+
+    stop = threading.Event()
+
+    def _shutdown(signum, frame):
+        stop.set()
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, _shutdown)
+
+    host = server.server_address[0]
+    print(
+        f"repro-serve listening on http://{host}:{server.port} "
+        f"(backend={service.backend.kind}, cache={service.cache.maxsize}, "
+        f"max_inflight={args.max_inflight})",
+        flush=True,
+    )
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+        if args.snapshot_out:
+            saved = service.cache.save(args.snapshot_out)
+            print(f"Snapshot: {saved} plan(s) to {args.snapshot_out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

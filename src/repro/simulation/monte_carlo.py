@@ -23,7 +23,7 @@ from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence
 from repro.observability import metrics
 from repro.observability.profiling import profiled
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 __all__ = ["MonteCarloResult", "costs_for_times", "monte_carlo_expected_cost"]
 
@@ -103,24 +103,82 @@ def costs_for_times(
     return costs
 
 
+def _chunk_task(args) -> tuple[float, float, int]:
+    """Cost one pre-sampled chunk; returns ``(sum, sum_sq, max_index)``.
+
+    Module-level so the process backend can pickle it (the sequence itself
+    must then be free of extender closures — the parallel driver extends it
+    before dispatch, so covering chunks never extend concurrently).
+    """
+    sequence, times, cost_model = args
+    costs, k = _costs_and_indices(sequence, times, cost_model)
+    return float(costs.sum()), float(np.dot(costs, costs)), int(k.max())
+
+
 def monte_carlo_expected_cost(
     sequence: ReservationSequence,
     distribution,
     cost_model: CostModel,
     n_samples: int = 1000,
     seed: SeedLike = None,
+    jobs: int = 1,
+    backend=None,
 ) -> MonteCarloResult:
-    """Estimate ``E(S)`` by averaging over ``n_samples`` sampled jobs (Eq. 13)."""
+    """Estimate ``E(S)`` by averaging over ``n_samples`` sampled jobs (Eq. 13).
+
+    ``jobs=1`` (the default, with no ``backend``) is the library's historical
+    serial path, bit-identical for a fixed seed.  ``jobs > 1`` — or an
+    explicit :class:`repro.service.pool.ExecutionBackend` — splits the
+    samples into one chunk per worker, each drawn from its own
+    ``SeedSequence``-spawned stream: the estimate is still deterministic for
+    a fixed ``(seed, jobs)`` pair, but uses a different sample set than the
+    serial path (they agree within the Monte-Carlo confidence interval).
+    Sampling and sequence extension stay serial; only the vectorized costing
+    kernel (which releases the GIL) fans out.
+    """
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
-    rng = as_generator(seed)
-    times = distribution.rvs(n_samples, seed=rng)
-    costs, k = _costs_and_indices(sequence, times, cost_model)
-    metrics.inc("mc.searchsorted_reused")  # one kernel call where there were two
+
+    n_chunks = jobs if jobs > 1 else int(getattr(backend, "jobs", 1))
+    if n_chunks <= 1:
+        rng = as_generator(seed)
+        times = distribution.rvs(n_samples, seed=rng)
+        costs, k = _costs_and_indices(sequence, times, cost_model)
+        metrics.inc("mc.searchsorted_reused")  # one kernel call where there were two
+        return MonteCarloResult(
+            mean_cost=float(costs.mean()),
+            std_error=float(costs.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0,
+            n_samples=n_samples,
+            n_reservations_used=len(sequence),
+            max_reservations_hit=int(k.max()) + 1,
+        )
+
+    # Deferred import: repro.service imports this module for the planner.
+    from repro.service.pool import chunk_sizes, get_backend
+
+    if backend is None:
+        backend = get_backend("thread", jobs)
+    sizes = chunk_sizes(n_samples, n_chunks)
+    gens = spawn_generators(seed, len(sizes))
+    chunks = [distribution.rvs(n, seed=g) for n, g in zip(sizes, gens)]
+    # One serial extension past the global max: chunk workers then only read
+    # the sequence (ensure_covers on a covering sequence is a no-op).
+    sequence.ensure_covers(float(max(c.max() for c in chunks)))
+    metrics.inc("mc.parallel_chunks", len(chunks))
+    partials = backend.map(_chunk_task, [(sequence, c, cost_model) for c in chunks])
+
+    total = float(sum(p[0] for p in partials))
+    total_sq = float(sum(p[1] for p in partials))
+    mean = total / n_samples
+    if n_samples > 1:
+        var = max(total_sq - n_samples * mean * mean, 0.0) / (n_samples - 1)
+        std_error = float(np.sqrt(var / n_samples))
+    else:
+        std_error = 0.0
     return MonteCarloResult(
-        mean_cost=float(costs.mean()),
-        std_error=float(costs.std(ddof=1) / np.sqrt(n_samples)) if n_samples > 1 else 0.0,
+        mean_cost=mean,
+        std_error=std_error,
         n_samples=n_samples,
         n_reservations_used=len(sequence),
-        max_reservations_hit=int(k.max()) + 1,
+        max_reservations_hit=max(p[2] for p in partials) + 1,
     )

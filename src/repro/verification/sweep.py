@@ -57,6 +57,11 @@ class SweepConfig:
     cost_models: Optional[Dict[str, CostModel]] = None  # None = both platforms
     oracles: Optional[Sequence[str]] = None  # None = all registered
     include_invariant_spot_checks: bool = True
+    #: Worker threads for the (cost model x distribution) cells.  1 (the
+    #: default) runs the historical serial loop bit-identically; each cell
+    #: is seeded independently, so parallel results match serial ones and
+    #: only the wall clock changes.
+    jobs: int = 1
 
     def resolve_distributions(self) -> Dict[str, object]:
         all_laws = paper_distributions()
@@ -145,25 +150,47 @@ def run_oracle_sweep(config: SweepConfig = SweepConfig()) -> ConformanceReport:
                 {"name": name, "describe": cm.describe()} for name, cm in cost_models.items()
             ],
             "oracles": sorted(config.oracles) if config.oracles is not None else "all",
+            "jobs": config.jobs,
         }
     )
+    cells = [
+        (cm_name, cost_model, dist_name, distribution)
+        for cm_name, cost_model in cost_models.items()
+        for dist_name, distribution in distributions.items()
+    ]
+
+    def run_cell(cell) -> List[CheckRecord]:
+        cm_name, cost_model, dist_name, distribution = cell
+        ctx = context_for(
+            distribution, cost_model, cm_name, quick=config.quick, seed=config.seed
+        )
+        records = list(iter_oracles(ctx, names=config.oracles))
+        if config.include_invariant_spot_checks:
+            records.extend(
+                _spot_check_invariants(
+                    distribution, cost_model, dist_name, cm_name, config.seed
+                )
+            )
+        return records
+
     with tracing.span(
         "verification.sweep",
         quick=config.quick,
         n_distributions=len(distributions),
         n_cost_models=len(cost_models),
+        jobs=config.jobs,
     ), metrics.timer("verification.sweep"):
-        for cm_name, cost_model in cost_models.items():
-            for dist_name, distribution in distributions.items():
-                ctx = context_for(
-                    distribution, cost_model, cm_name, quick=config.quick, seed=config.seed
-                )
-                report.extend(iter_oracles(ctx, names=config.oracles))
-                if config.include_invariant_spot_checks:
-                    report.extend(
-                        _spot_check_invariants(
-                            distribution, cost_model, dist_name, cm_name, config.seed
-                        )
-                    )
+        if config.jobs > 1:
+            # Cells are independent (each seeds its own RNGs), so the thread
+            # pool changes only wall-clock; the ordered map keeps the report
+            # identical to the serial sweep.
+            from repro.service.pool import get_backend
+
+            with get_backend("thread", config.jobs) as backend:
+                per_cell = backend.map(run_cell, cells)
+        else:
+            per_cell = [run_cell(cell) for cell in cells]
+        for records in per_cell:
+            report.extend(records)
     report.metadata["n_checks"] = report.n_checks
     return report

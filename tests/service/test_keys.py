@@ -1,0 +1,220 @@
+"""Stability tests for the content-hash plan cache keys.
+
+The whole caching story rests on three properties of ``plan_key``:
+
+1. *Determinism* — equal inputs give equal keys, regardless of how the
+   distribution object was constructed (kwarg order, sample order, numpy vs
+   builtin scalars) and across processes (no ``PYTHONHASHSEED`` leakage);
+2. *Sensitivity* — perturbing any keyed field (a distribution parameter, a
+   cost-model coefficient, a strategy knob, the coverage) changes the key;
+3. *Round-trip* — ``make_distribution(d.name, **d.params())`` rebuilds a
+   distribution with the same key, so snapshots stay valid across restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostModel
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.registry import (
+    PAPER_ORDER,
+    make_distribution,
+    paper_distributions,
+)
+from repro.service.keys import (
+    KEY_VERSION,
+    canonical_json,
+    distribution_token,
+    plan_key,
+    strategy_token,
+)
+
+CM = CostModel(alpha=1.0, beta=0.25, gamma=0.1)
+
+
+# ----------------------------------------------------------------------
+# canonical_json
+# ----------------------------------------------------------------------
+class TestCanonicalJson:
+    def test_mapping_order_never_leaks(self):
+        assert canonical_json({"a": 1.0, "b": 2.0}) == canonical_json(
+            {"b": 2.0, "a": 1.0}
+        )
+
+    def test_floats_are_exact(self):
+        # 0.1 + 0.2 != 0.3: hex encoding must distinguish them.
+        assert canonical_json({"x": 0.1 + 0.2}) != canonical_json({"x": 0.3})
+        assert float.fromhex(json.loads(canonical_json(0.1 + 0.2))) == 0.1 + 0.2
+
+    def test_numpy_scalars_match_builtins(self):
+        assert canonical_json(np.float64(1.5)) == canonical_json(1.5)
+        assert canonical_json(np.int64(7)) == canonical_json(7)
+        assert canonical_json(np.array([1.0, 2.0])) == canonical_json([1.0, 2.0])
+
+    def test_bool_is_not_int(self):
+        assert canonical_json(True) != canonical_json(1)
+
+    def test_rejects_opaque_objects(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_json({"f": lambda: None})
+
+
+# ----------------------------------------------------------------------
+# Determinism / equality
+# ----------------------------------------------------------------------
+class TestKeyEquality:
+    def test_kwarg_order_is_irrelevant(self):
+        a = make_distribution("lognormal", mu=3.0, sigma=0.5)
+        b = make_distribution("lognormal", sigma=0.5, mu=3.0)
+        assert plan_key(a, CM, "mean_by_mean") == plan_key(b, CM, "mean_by_mean")
+
+    def test_numpy_parameters_match_builtins(self):
+        a = make_distribution("weibull", scale=1.0, shape=0.5)
+        b = make_distribution(
+            "weibull", scale=np.float64(1.0), shape=np.float64(0.5)
+        )
+        assert plan_key(a, CM, "mean_by_mean") == plan_key(b, CM, "mean_by_mean")
+
+    def test_empirical_sample_order_is_irrelevant(self):
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(1.0, 0.3, size=64)
+        a = EmpiricalDistribution(samples)
+        b = EmpiricalDistribution(samples[::-1].copy())
+        assert plan_key(a, CM, "mean_by_mean") == plan_key(b, CM, "mean_by_mean")
+
+    def test_strategy_name_is_normalized(self):
+        d = make_distribution("exponential", rate=1.0)
+        assert plan_key(d, CM, "mean-by-mean") == plan_key(d, CM, "MEAN_BY_MEAN")
+
+    def test_params_roundtrip_preserves_key(self):
+        for name, dist in paper_distributions().items():
+            rebuilt = make_distribution(dist.name, **dist.params())
+            assert plan_key(dist, CM, "mean_by_mean") == plan_key(
+                rebuilt, CM, "mean_by_mean"
+            ), name
+
+
+# ----------------------------------------------------------------------
+# Sensitivity
+# ----------------------------------------------------------------------
+class TestKeySensitivity:
+    def test_every_distribution_parameter_matters(self):
+        # Perturb each params() entry of each paper law in turn; every
+        # perturbation must move the key.
+        for name in PAPER_ORDER:
+            dist = paper_distributions()[name]
+            base_key = plan_key(dist, CM, "mean_by_mean")
+            for pname, pvalue in dist.params().items():
+                perturbed = dict(dist.params())
+                perturbed[pname] = float(pvalue) * 1.5 + 0.25
+                try:
+                    other = make_distribution(dist.name, **perturbed)
+                except ValueError:
+                    # Perturbation left the law's valid domain (e.g. beta
+                    # support bounds); nudge the other way instead.
+                    perturbed[pname] = float(pvalue) * 0.5
+                    other = make_distribution(dist.name, **perturbed)
+                assert plan_key(other, CM, "mean_by_mean") != base_key, (
+                    f"{name}.{pname} perturbation did not change the key"
+                )
+
+    def test_different_laws_same_params_differ(self):
+        a = make_distribution("exponential", rate=1.0)
+        token = distribution_token(a)
+        assert token["law"] == "exponential"
+        b = make_distribution("gamma", shape=1.0, rate=1.0)
+        # Exp(1) == Gamma(1, 1) as a law, but the key is content-based.
+        assert plan_key(a, CM, "mean_by_mean") != plan_key(b, CM, "mean_by_mean")
+
+    @pytest.mark.parametrize("field", ["alpha", "beta", "gamma"])
+    def test_cost_model_coefficients_matter(self, field):
+        d = make_distribution("lognormal", mu=3.0, sigma=0.5)
+        other = CostModel(
+            alpha=CM.alpha + (0.5 if field == "alpha" else 0.0),
+            beta=CM.beta + (0.5 if field == "beta" else 0.0),
+            gamma=CM.gamma + (0.5 if field == "gamma" else 0.0),
+        )
+        assert plan_key(d, CM, "mean_by_mean") != plan_key(d, other, "mean_by_mean")
+
+    def test_strategy_and_knobs_matter(self):
+        d = make_distribution("lognormal", mu=3.0, sigma=0.5)
+        base = plan_key(d, CM, "mean_by_mean")
+        assert plan_key(d, CM, "median_by_median") != base
+        assert plan_key(d, CM, "mean_by_mean", knobs={"seed": 1}) != base
+        assert plan_key(d, CM, "mean_by_mean", knobs={"seed": 1}) != plan_key(
+            d, CM, "mean_by_mean", knobs={"seed": 2}
+        )
+
+    def test_coverage_and_extra_matter(self):
+        d = make_distribution("exponential", rate=2.0)
+        assert plan_key(d, CM, "mean_by_mean", coverage=0.999) != plan_key(
+            d, CM, "mean_by_mean", coverage=0.9999
+        )
+        assert plan_key(d, CM, "mean_by_mean", extra={"n_discrete": 500}) != plan_key(
+            d, CM, "mean_by_mean"
+        )
+
+    def test_strategy_token_shape(self):
+        token = strategy_token("Mean-By-Mean", {"seed": 3})
+        assert token == {"name": "mean_by_mean", "knobs": {"seed": 3}}
+
+
+# ----------------------------------------------------------------------
+# Cross-process stability
+# ----------------------------------------------------------------------
+_SUBPROCESS_SNIPPET = """\
+import json, sys
+from repro.core.cost import CostModel
+from repro.distributions.registry import make_distribution
+from repro.service.keys import plan_key
+d = make_distribution("lognormal", mu=3.0, sigma=0.5)
+cm = CostModel(alpha=1.0, beta=0.25, gamma=0.1)
+print(plan_key(d, cm, "mean_by_mean", knobs={"seed": 7}, coverage=0.999))
+"""
+
+
+def test_keys_stable_across_processes():
+    """Same inputs in a fresh interpreter (fresh hash randomization, fresh
+    numpy) must produce the same key — the property snapshots depend on."""
+    here = plan_key(
+        make_distribution("lognormal", mu=3.0, sigma=0.5),
+        CostModel(alpha=1.0, beta=0.25, gamma=0.1),
+        "mean_by_mean",
+        knobs={"seed": 7},
+        coverage=0.999,
+    )
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src)
+    env["PYTHONHASHSEED"] = "random"
+    out = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert out.stdout.strip() == here
+    assert len(here) == 64  # sha256 hex
+
+
+def test_key_version_is_embedded():
+    """Bumping KEY_VERSION must invalidate every key (snapshot safety)."""
+    d = make_distribution("exponential", rate=1.0)
+    base = plan_key(d, CM, "mean_by_mean")
+    import repro.service.keys as keys_mod
+
+    old = keys_mod.KEY_VERSION
+    try:
+        keys_mod.KEY_VERSION = old + 1
+        assert plan_key(d, CM, "mean_by_mean") != base
+    finally:
+        keys_mod.KEY_VERSION = old
+    assert KEY_VERSION == old

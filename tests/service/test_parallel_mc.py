@@ -1,0 +1,129 @@
+"""Parallel Monte-Carlo and parallel sweep: determinism and agreement.
+
+The acceptance bar for the pooled paths:
+
+* ``jobs=1`` stays bit-identical to the historical serial call;
+* ``jobs>1`` is deterministic for a fixed ``(seed, jobs)`` pair;
+* the parallel estimate agrees with the serial one within the combined
+  Monte-Carlo confidence interval;
+* the parallel verification sweep reproduces the serial report check for
+  check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostModel
+from repro.distributions.registry import make_distribution
+from repro.simulation.monte_carlo import monte_carlo_expected_cost
+from repro.strategies.registry import make_strategy
+
+CM = CostModel(alpha=1.0, beta=0.2, gamma=0.1)
+
+
+def _sequence(dist):
+    seq = make_strategy("mean_by_mean").sequence(dist, CM)
+    seq.ensure_covers(float(dist.quantile(0.999)))
+    return seq
+
+
+@pytest.fixture()
+def dist():
+    return make_distribution("lognormal", mu=3.0, sigma=0.5)
+
+
+class TestSerialPathUnchanged:
+    def test_jobs_one_is_bit_identical_to_default(self, dist):
+        a = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=2000, seed=42
+        )
+        b = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=2000, seed=42, jobs=1
+        )
+        assert a == b  # frozen dataclass: full field-wise equality
+
+    def test_serial_backend_object_is_bit_identical(self, dist):
+        from repro.service.pool import SerialBackend
+
+        a = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=2000, seed=42
+        )
+        b = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=2000, seed=42,
+            backend=SerialBackend(),
+        )
+        assert a == b
+
+
+class TestParallelPath:
+    def test_deterministic_for_fixed_seed_and_jobs(self, dist):
+        a = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=4000, seed=7, jobs=4
+        )
+        b = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=4000, seed=7, jobs=4
+        )
+        assert a == b
+
+    def test_agrees_with_serial_within_ci(self, dist):
+        n = 10_000
+        serial = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=n, seed=123
+        )
+        parallel = monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=n, seed=123, jobs=4
+        )
+        assert parallel.n_samples == n
+        # Different sample sets (spawned streams), same estimand: the gap
+        # must be small against the combined standard error.
+        tol = 5.0 * float(
+            np.hypot(serial.std_error, parallel.std_error)
+        )
+        assert abs(parallel.mean_cost - serial.mean_cost) <= tol
+        assert parallel.std_error == pytest.approx(
+            serial.std_error, rel=0.5
+        )
+
+    def test_covers_samples_without_concurrent_extension(self, dist):
+        """The driver extends once before dispatch; the chunks then cost a
+        sequence that already covers every sample."""
+        seq = _sequence(dist)
+        result = monte_carlo_expected_cost(
+            seq, dist, CM, n_samples=3000, seed=5, jobs=3
+        )
+        assert result.max_reservations_hit <= len(seq)
+
+    def test_chunk_accounting(self, dist, isolated_obs):
+        from repro import observability as obs
+
+        reg, _ = isolated_obs
+        obs.enable()
+        monte_carlo_expected_cost(
+            _sequence(dist), dist, CM, n_samples=1000, seed=1, jobs=4
+        )
+        assert int(reg.counter("mc.parallel_chunks").value) == 4
+        assert int(reg.counter("mc.samples").value) == 1000
+
+
+class TestParallelSweep:
+    def test_parallel_sweep_matches_serial_report(self):
+        from repro.verification.sweep import SweepConfig, run_oracle_sweep
+
+        kwargs = dict(
+            quick=True,
+            seed=0,
+            distributions=["exponential", "uniform"],
+            include_invariant_spot_checks=False,
+        )
+        serial = run_oracle_sweep(SweepConfig(**kwargs, jobs=1))
+        parallel = run_oracle_sweep(SweepConfig(**kwargs, jobs=2))
+        assert serial.n_checks == parallel.n_checks > 0
+        for left, right in zip(serial.records, parallel.records):
+            assert left.oracle == right.oracle
+            assert left.distribution == right.distribution
+            assert left.passed == right.passed
+            assert left.discrepancy == pytest.approx(
+                right.discrepancy, rel=1e-12, abs=1e-15
+            )

@@ -1,0 +1,208 @@
+"""PlanCache behavior: LRU bound, TTL, counters, single-flight, snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import observability as obs
+from repro.service.plancache import SNAPSHOT_VERSION, PlanCache
+
+
+@pytest.fixture()
+def registry(isolated_obs):
+    reg, _ = isolated_obs
+    obs.enable()
+    return reg
+
+
+class FakeClock:
+    def __init__(self, now: float = 1_000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def counter(registry, name: str) -> int:
+    return int(registry.counter(name).value)
+
+
+# ----------------------------------------------------------------------
+class TestBasics:
+    def test_get_put_roundtrip(self, registry):
+        cache = PlanCache(maxsize=4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert "k" in cache and len(cache) == 1
+        assert counter(registry, "plancache.hits") == 2  # get + __contains__
+        assert counter(registry, "plancache.misses") == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            PlanCache(maxsize=0)
+        with pytest.raises(ValueError, match="ttl"):
+            PlanCache(ttl=0.0)
+
+    def test_invalidate_and_clear(self, registry):
+        cache = PlanCache()
+        cache.put("a", {})
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        cache.put("b", {})
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_eviction_drops_least_recently_used(self, registry):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.get("a")  # touch: b is now the LRU tail
+        cache.put("c", {"n": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert counter(registry, "plancache.evictions") == 1
+
+    def test_size_gauge_tracks(self, registry):
+        cache = PlanCache(maxsize=3)
+        for i in range(5):
+            cache.put(f"k{i}", {})
+        assert registry.gauge("plancache.size").value == 3
+
+
+class TestTTL:
+    def test_expired_entries_read_as_misses(self, registry):
+        clock = FakeClock()
+        cache = PlanCache(ttl=10.0, clock=clock)
+        cache.put("k", {"v": 1})
+        clock.advance(9.0)
+        assert cache.get("k") == {"v": 1}
+        clock.advance(2.0)
+        assert cache.get("k") is None
+        assert counter(registry, "plancache.expirations") == 1
+        assert counter(registry, "plancache.misses") == 1
+
+    def test_no_ttl_never_expires(self, registry):
+        clock = FakeClock()
+        cache = PlanCache(clock=clock)
+        cache.put("k", {})
+        clock.advance(1e9)
+        assert cache.get("k") is not None
+
+
+class TestGetOrCompute:
+    def test_computes_once_then_hits(self, registry):
+        cache = PlanCache()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return {"v": 42}
+
+        payload, cached = cache.get_or_compute("k", factory)
+        assert (payload, cached) == ({"v": 42}, False)
+        payload, cached = cache.get_or_compute("k", factory)
+        assert (payload, cached) == ({"v": 42}, True)
+        assert len(calls) == 1
+
+    def test_single_flight_under_contention(self, registry):
+        """N concurrent requests for one cold key run the factory once."""
+        cache = PlanCache()
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        calls = []
+        call_lock = threading.Lock()
+
+        def factory():
+            with call_lock:
+                calls.append(1)
+            return {"v": "expensive"}
+
+        results = []
+        results_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            out = cache.get_or_compute("cold", factory)
+            with results_lock:
+                results.append(out)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(payload == {"v": "expensive"} for payload, _ in results)
+        # Exactly one computation was a miss; every waiter saw the cache.
+        assert sum(1 for _, cached in results if not cached) == 1
+
+
+class TestSnapshot:
+    def test_save_load_roundtrip(self, registry, tmp_path):
+        clock = FakeClock()
+        cache = PlanCache(maxsize=8, ttl=100.0, clock=clock)
+        cache.put("a", {"plan": [1.0, 2.0]})
+        clock.advance(5.0)
+        cache.put("b", {"plan": [3.0]})
+        path = tmp_path / "snap.json"
+        assert cache.save(str(path)) == 2
+
+        fresh = PlanCache(maxsize=8, ttl=100.0, clock=clock)
+        assert fresh.load(str(path)) == 2
+        assert fresh.get("a") == {"plan": [1.0, 2.0]}
+        assert fresh.get("b") == {"plan": [3.0]}
+
+    def test_loaded_entries_keep_aging(self, registry, tmp_path):
+        clock = FakeClock()
+        cache = PlanCache(ttl=10.0, clock=clock)
+        cache.put("k", {"v": 1})
+        path = tmp_path / "snap.json"
+        cache.save(str(path))
+
+        clock.advance(11.0)  # "restart" after the TTL has lapsed
+        fresh = PlanCache(ttl=10.0, clock=clock)
+        assert fresh.load(str(path)) == 0
+
+    def test_version_mismatch_loads_nothing(self, registry, tmp_path):
+        import json
+
+        cache = PlanCache()
+        cache.put("k", {"v": 1})
+        path = tmp_path / "snap.json"
+        cache.save(str(path))
+        doc = json.loads(path.read_text())
+        doc["version"] = SNAPSHOT_VERSION + 1
+        path.write_text(json.dumps(doc))
+
+        fresh = PlanCache()
+        assert fresh.load(str(path)) == 0
+        assert counter(registry, "plancache.snapshot_version_mismatch") == 1
+
+    def test_malformed_entries_are_skipped(self, registry, tmp_path):
+        import json
+
+        path = tmp_path / "snap.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": SNAPSHOT_VERSION,
+                    "entries": [
+                        {"key": "ok", "created_at": 1.0, "payload": {"v": 1}},
+                        {"key": "no-payload", "created_at": 1.0},
+                        {"key": "bad-stamp", "created_at": "x", "payload": {}},
+                        {"key": "non-dict", "created_at": 1.0, "payload": [1]},
+                    ],
+                }
+            )
+        )
+        cache = PlanCache()
+        assert cache.load(str(path)) == 1
+        assert cache.get("ok") == {"v": 1}

@@ -1,0 +1,163 @@
+"""Execution backend contract: ordering, strictness, retries, timeouts."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import observability as obs
+from repro.service.pool import (
+    BACKEND_KINDS,
+    PoolError,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    chunk_sizes,
+    get_backend,
+)
+
+
+@pytest.fixture()
+def registry(isolated_obs):
+    reg, _ = isolated_obs
+    obs.enable()
+    return reg
+
+
+def square(x):
+    return x * x
+
+
+class Flaky:
+    """Fails the first ``n_failures`` calls per item, then succeeds."""
+
+    def __init__(self, n_failures: int):
+        self.n_failures = n_failures
+        self.attempts = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, x):
+        with self._lock:
+            seen = self.attempts.get(x, 0)
+            self.attempts[x] = seen + 1
+        if seen < self.n_failures:
+            raise RuntimeError(f"transient failure #{seen} for {x}")
+        return x * 10
+
+
+# ----------------------------------------------------------------------
+class TestChunkSizes:
+    def test_even_split(self):
+        assert chunk_sizes(10, 2) == [5, 5]
+
+    def test_remainder_spread_over_leading_chunks(self):
+        assert chunk_sizes(10, 3) == [4, 3, 3]
+
+    def test_fewer_items_than_chunks(self):
+        assert chunk_sizes(2, 8) == [1, 1]
+
+    def test_sizes_sum_and_stay_positive(self):
+        for n_items in (1, 7, 100):
+            for n_chunks in (1, 3, 50):
+                sizes = chunk_sizes(n_items, n_chunks)
+                assert sum(sizes) == n_items
+                assert all(s > 0 for s in sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(0, 2)
+        with pytest.raises(ValueError):
+            chunk_sizes(2, 0)
+
+
+class TestGetBackend:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("fork-bomb", 2)
+
+    def test_jobs_leq_one_is_always_serial(self):
+        for kind in BACKEND_KINDS:
+            assert isinstance(get_backend(kind, 1), SerialBackend)
+        assert isinstance(get_backend(None, 8), SerialBackend)
+        assert isinstance(get_backend("serial", 8), SerialBackend)
+
+    def test_parallel_kinds(self):
+        with get_backend("thread", 2) as b:
+            assert isinstance(b, ThreadBackend) and b.jobs == 2
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ThreadBackend(-1)
+
+
+# ----------------------------------------------------------------------
+@pytest.fixture(params=["serial", "thread", "process"])
+def backend(request):
+    if request.param == "serial":
+        b = SerialBackend()
+    elif request.param == "thread":
+        b = ThreadBackend(2)
+    else:
+        b = ProcessBackend(2)
+    with b:
+        yield b
+
+
+class TestMapContract:
+    def test_preserves_input_order(self, registry, backend):
+        items = list(range(17))
+        assert backend.map(square, items) == [x * x for x in items]
+
+    def test_empty_input(self, registry, backend):
+        assert backend.map(square, []) == []
+
+    def test_strictness_raises_pool_error(self, registry):
+        # In-process backends only: the raising closure is not picklable.
+        def boom(x):
+            raise ValueError(f"bad item {x}")
+
+        for b in (SerialBackend(), ThreadBackend(2)):
+            with b, pytest.raises(PoolError, match="failed after 1 attempt"):
+                b.map(boom, [1, 2, 3])
+
+    def test_retries_recover_transient_failures(self, registry):
+        for make in (SerialBackend, lambda: ThreadBackend(2)):
+            flaky = Flaky(n_failures=1)
+            with make() as b:
+                assert b.map(flaky, [1, 2], retries=2) == [10, 20]
+        assert int(registry.counter("pool.retries").value) >= 2
+
+    def test_retries_exhausted_still_raises(self, registry):
+        flaky = Flaky(n_failures=5)
+        with ThreadBackend(2) as b:
+            with pytest.raises(PoolError):
+                b.map(flaky, [1], retries=1)
+        assert int(registry.counter("pool.failures").value) == 1
+
+    def test_timeout_raises_pool_error(self, registry):
+        def slow(x):
+            time.sleep(2.0)
+            return x
+
+        with ThreadBackend(1) as b:
+            started = time.perf_counter()
+            with pytest.raises(PoolError):
+                b.map(slow, [1], timeout=0.05)
+            # Collection gave up quickly instead of waiting the full sleep.
+            assert time.perf_counter() - started < 1.5
+        assert int(registry.counter("pool.timeouts").value) >= 1
+
+    def test_tasks_counter(self, registry):
+        with ThreadBackend(2) as b:
+            b.map(square, list(range(5)))
+        assert int(registry.counter("pool.tasks").value) == 5
+
+    def test_parallelism_is_real(self, registry):
+        """Two 0.2 s sleeps on two workers finish in well under 0.4 s."""
+        with ThreadBackend(2) as b:
+            started = time.perf_counter()
+            b.map(time.sleep, [0.2, 0.2])
+            elapsed = time.perf_counter() - started
+        assert elapsed < 0.38

@@ -1,0 +1,152 @@
+"""HTTP front end: round trip, error mapping, admission control.
+
+Each test boots a real :class:`PlanServer` on an ephemeral port with the
+accept loop in a daemon thread — the same shape the CI service job drives
+through ``repro-serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import observability as obs
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.plancache import PlanCache
+from repro.service.planner import PlannerService
+from repro.service.server import serve
+
+PARAMS = {"mu": 3.0, "sigma": 0.5}
+
+
+@pytest.fixture()
+def registry(isolated_obs):
+    reg, _ = isolated_obs
+    obs.enable()
+    return reg
+
+
+@pytest.fixture()
+def live_server(registry):
+    service = PlannerService(cache=PlanCache(maxsize=16), n_samples=300, seed=0)
+    server = serve(service, port=0, max_inflight=4)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture()
+def client(live_server):
+    return ServiceClient(f"http://127.0.0.1:{live_server.port}", timeout=30)
+
+
+class TestRoundTrip:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["cache"]["maxsize"] == 16
+
+    def test_plan_then_cache_hit_then_metrics(self, client):
+        first = client.plan("lognormal", PARAMS, n_samples=300)
+        second = client.plan("lognormal", PARAMS, n_samples=300)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert first["key"] == second["key"]
+
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters["plancache.hits"] == 1
+        assert counters["server.requests"] >= 3
+
+    def test_evaluate(self, client):
+        client.plan("lognormal", PARAMS)
+        resp = client.evaluate("lognormal", PARAMS, n_samples=500, seed=2)
+        assert resp["cached"] is True
+        assert resp["evaluation"]["n_samples"] == 500
+
+
+class TestErrorMapping:
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client._request("/nope")
+        assert err.value.status == 404
+
+    def test_unknown_distribution_400(self, client):
+        with pytest.raises(ServiceHTTPError) as err:
+            client.plan("cauchy", {})
+        assert err.value.status == 400
+        assert "unknown distribution" in err.value.message
+
+    def test_empty_body_400(self, live_server):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{live_server.port}/plan",
+            data=b"",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+
+    def test_malformed_json_400(self, live_server):
+        req = urllib.request.Request(
+            f"http://127.0.0.1:{live_server.port}/plan",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 400
+        body = json.loads(err.value.read().decode("utf-8"))
+        assert "invalid JSON" in body["error"]
+
+
+class TestAdmissionControl:
+    def test_saturated_server_sheds_load_with_429(self, registry):
+        """max_inflight=0 admits nothing: POSTs get 429 + Retry-After while
+        /healthz and /metrics stay reachable."""
+        service = PlannerService(n_samples=100)
+        server = serve(service, port=0, max_inflight=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=10)
+            with pytest.raises(ServiceHTTPError) as err:
+                client.plan("lognormal", PARAMS)
+            assert err.value.status == 429
+            assert client.healthz()["status"] == "ok"
+            counters = client.metrics()["metrics"]["counters"]
+            assert counters["server.throttled"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_retry_after_header(self, registry):
+        service = PlannerService(n_samples=100)
+        server = serve(service, port=0, max_inflight=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/plan",
+                data=json.dumps(
+                    {"distribution": {"law": "lognormal", "params": PARAMS}}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10)
+            assert err.value.code == 429
+            assert err.value.headers["Retry-After"] == "1"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
