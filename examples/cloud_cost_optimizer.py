@@ -11,8 +11,10 @@ Pipeline (Section 5.2 of the paper):
 
 Reserved wins whenever E(S)/E^o <= c_OD / c_RI.
 
-Run:  python examples/cloud_cost_optimizer.py
+Run:  python examples/cloud_cost_optimizer.py [--seed N]
 """
+
+import argparse
 
 import numpy as np
 
@@ -24,7 +26,10 @@ from repro import (
 )
 from repro.platforms.reservation_only import ReservationOnlyPlatform
 
-RNG_SEED = 2024
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--seed", type=int, default=2024,
+                    help="master RNG seed (default reproduces the documented run)")
+RNG_SEED = parser.parse_args().seed
 PRICE_RATIO = 4.0  # c_OD / c_RI on AWS (up to 75% discount for RI)
 
 # ----------------------------------------------------------------------
@@ -49,7 +54,9 @@ print(f"Fitted LogNormal(mu={fit.mu:.3f}, sigma={fit.sigma:.3f}) "
 platform = ReservationOnlyPlatform(price_per_hour_reserved=1.0)
 cost_model = platform.cost_model()
 strategy = BruteForce(m_grid=2000, n_samples=1000, seed=RNG_SEED)
-record = evaluate_strategy(strategy, workload, cost_model, n_samples=5000, seed=1)
+record = evaluate_strategy(
+    strategy, workload, cost_model, n_samples=5000, seed=RNG_SEED + 1
+)
 
 sequence = strategy.sequence(workload, cost_model)
 sequence.ensure_covers(workload.quantile(0.999))

@@ -12,8 +12,10 @@ Pipeline:
 4. compare all reservation heuristics, and stress-test the winner when the
    workload's mean/std are scaled up to 10x (Fig. 4).
 
-Run:  python examples/neuroscience_hpc.py
+Run:  python examples/neuroscience_hpc.py [--seed N]
 """
+
+import argparse
 
 from repro import evaluate_strategy, fit_lognormal, paper_strategies
 from repro.distributions.lognormal import LogNormal
@@ -21,7 +23,10 @@ from repro.platforms.neurohpc import scaled_workload
 from repro.platforms.traces import generate_trace
 from repro.platforms.waittime import fit_wait_time, synthesize_queue_log
 
-SEED = 7
+parser = argparse.ArgumentParser(description=__doc__)
+parser.add_argument("--seed", type=int, default=7,
+                    help="master RNG seed (default reproduces the documented run)")
+SEED = parser.parse_args().seed
 
 # ----------------------------------------------------------------------
 # 1. The workload: VBMQA execution times (seconds -> hours).

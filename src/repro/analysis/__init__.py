@@ -1,0 +1,42 @@
+"""``repro.analysis`` — domain-aware static analysis (``repro-lint``).
+
+The paper's results rest on disciplined randomness, exact protocol
+conformance, and race-free serving code; this package enforces those
+properties mechanically, at lint time, with zero dependencies beyond the
+stdlib ``ast``/``tokenize``:
+
+=======  ==========================================================
+RS101    unseeded / global RNG (``np.random.*``, ``random.*``,
+         argless ``default_rng()``)
+RS102    float ``==`` / ``!=`` in the numeric packages
+RS103    Distribution protocol conformance for every registered law
+RS104    lock discipline in ``service/`` and ``observability/``
+RS105    bare / over-broad ``except`` that drops the error
+RS106    metric names not in ``repro/observability/names.py``
+=======  ==========================================================
+
+See ``docs/ANALYSIS.md`` for the full rule catalogue, the suppression
+syntax (``# repro-lint: disable=RS102 -- reason``), and the baseline
+ratchet workflow.
+"""
+
+from repro.analysis.baseline import Baseline, DEFAULT_BASELINE_NAME
+from repro.analysis.engine import AnalysisResult, analyze_paths, collect_files
+from repro.analysis.finding import Finding, SourceFile
+from repro.analysis.reporters import Report, render_json, render_text
+from repro.analysis.rules import all_rules, rule_classes
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "Report",
+    "SourceFile",
+    "all_rules",
+    "analyze_paths",
+    "collect_files",
+    "render_json",
+    "render_text",
+    "rule_classes",
+]

@@ -1,0 +1,124 @@
+"""Baseline ratchet: legacy findings don't block, new findings do.
+
+The committed baseline (``.repro-lint-baseline.json``) records fingerprints
+of findings that predate the linter.  At check time each current finding is
+matched against the baseline:
+
+* matched  -> *baselined*: reported, but does not fail the run;
+* unmatched -> *new*: fails the run (exit code 1);
+* baseline entries with no current finding -> *stale*: the debt shrank;
+  rewrite the baseline (``--write-baseline``) to lock the progress in.
+
+Fingerprints hash (rule, path, line content), not line numbers, so edits
+elsewhere in a file don't churn the baseline.  Identical lines in one file
+are handled by count: the baseline stores how many of each fingerprint it
+tolerates.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.finding import PARSE_ERROR_RULE, Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Tolerated legacy findings: fingerprint -> count (+ display info)."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: fingerprint -> {"rule": ..., "path": ...} for human-readable output
+    info: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        doc = json.loads(p.read_text(encoding="utf-8"))
+        if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline format "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        baseline = cls()
+        for entry in doc.get("entries", []):
+            fp = str(entry["fingerprint"])
+            baseline.counts[fp] = int(entry.get("count", 1))
+            baseline.info[fp] = {
+                "rule": str(entry.get("rule", "?")),
+                "path": str(entry.get("path", "?")),
+            }
+        return baseline
+
+    def save(
+        self, path: str, fingerprinted: Sequence[Tuple[Finding, str]]
+    ) -> int:
+        """Write the given findings as the new baseline; returns the count.
+
+        Parse errors are never baselined: a file that doesn't parse must be
+        fixed, not tolerated.
+        """
+        tallies: Counter = Counter()
+        display: Dict[str, Finding] = {}
+        for finding, fp in fingerprinted:
+            if finding.rule == PARSE_ERROR_RULE:
+                continue
+            tallies[fp] += 1
+            display.setdefault(fp, finding)
+        entries = [
+            {
+                "fingerprint": fp,
+                "count": count,
+                "rule": display[fp].rule,
+                "path": display[fp].path,
+                "message": display[fp].message,
+            }
+            for fp, count in sorted(tallies.items(), key=lambda kv: (
+                display[kv[0]].path, display[kv[0]].line, kv[0]
+            ))
+        ]
+        doc = {"version": BASELINE_VERSION, "entries": entries}
+        Path(path).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+        return len(entries)
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, fingerprinted: Sequence[Tuple[Finding, str]]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into (new, baselined) and list stale fingerprints.
+
+        For each fingerprint the first ``counts[fp]`` occurrences are
+        baselined; anything beyond — and any unknown fingerprint — is new.
+        """
+        remaining = dict(self.counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding, fp in fingerprinted:
+            if finding.rule != PARSE_ERROR_RULE and remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = sorted(fp for fp, left in remaining.items() if left > 0)
+        return new, baselined, stale
+
+    def describe(self, fingerprint: str) -> str:
+        info = self.info.get(fingerprint, {})
+        return f"{info.get('rule', '?')} in {info.get('path', '?')}"
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

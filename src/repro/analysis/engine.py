@@ -1,0 +1,164 @@
+"""The ``repro-lint`` engine: file collection, parsing, rule dispatch.
+
+The engine owns everything the rules should not care about — walking
+directories, parsing source, honoring inline suppressions, pairing each
+finding with the fingerprint the baseline matches on — so rules stay pure
+AST-to-findings functions.
+
+Dependency-free by design (``ast`` + ``tokenize`` only): the linter has to
+run in CI images and pre-commit hooks that install nothing beyond the
+package itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.finding import PARSE_ERROR_RULE, Finding, SourceFile
+from repro.analysis.rules import ProjectRule, Rule, all_rules
+from repro.analysis.suppress import parse_suppressions
+
+__all__ = ["AnalysisResult", "analyze_paths", "collect_files", "load_source"]
+
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".pytest_cache",
+    "node_modules",
+    ".venv",
+    "venv",
+}
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced, before baseline policy is applied."""
+
+    sources: List[SourceFile] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+    @property
+    def n_files(self) -> int:
+        return len(self.sources)
+
+    @property
+    def parse_errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.rule == PARSE_ERROR_RULE]
+
+    def fingerprinted(self) -> List[Tuple[Finding, str]]:
+        """Findings paired with their baseline fingerprints."""
+        by_path: Dict[str, SourceFile] = {s.path: s for s in self.sources}
+        out = []
+        for finding in self.findings:
+            source = by_path.get(finding.path)
+            line_text = source.line_text(finding.line) if source else ""
+            out.append((finding, finding.fingerprint(line_text)))
+        return out
+
+
+def _display_path(path: Path) -> str:
+    """cwd-relative posix path when the file is under cwd, else absolute."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return PurePosixPath(rel).as_posix()
+    except ValueError:
+        return PurePosixPath(path.resolve()).as_posix()
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: Dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            if path.suffix == ".py":
+                seen.setdefault(path.resolve(), None)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    seen.setdefault((Path(dirpath) / name).resolve(), None)
+    return sorted(seen)
+
+
+def load_source(path: Path) -> SourceFile:
+    """Read + parse one file; a syntax error becomes a parse-error source."""
+    display = _display_path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return SourceFile(
+            path=display, text="", tree=None, parse_error=str(exc)
+        )
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except (SyntaxError, ValueError) as exc:
+        return SourceFile(
+            path=display, text=text, tree=None, parse_error=str(exc)
+        )
+    return SourceFile(
+        path=display,
+        text=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+    )
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Iterable[Rule]] = None,
+) -> AnalysisResult:
+    """Lint ``paths`` with ``rules`` (default: every registered rule).
+
+    Inline suppressions are applied here: suppressed findings land in
+    ``result.suppressed``.  Parse errors are reported as rule ``E001`` and
+    can be neither suppressed nor baselined.
+    """
+    rule_list = list(rules) if rules is not None else all_rules()
+    result = AnalysisResult()
+    for path in collect_files(paths):
+        result.sources.append(load_source(path))
+
+    for source in result.sources:
+        if source.parse_error is not None:
+            result.findings.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    path=source.path,
+                    line=1,
+                    col=1,
+                    message=f"cannot parse file: {source.parse_error}",
+                )
+            )
+
+    parsed = [s for s in result.sources if s.tree is not None]
+    raw: List[Finding] = []
+    for rule in rule_list:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(parsed))
+        else:
+            for source in parsed:
+                if rule.applies_to(source):
+                    raw.extend(rule.check(source))
+
+    by_path = {s.path: s for s in result.sources}
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding.rule, finding.line):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=Finding.sort_key)
+    return result

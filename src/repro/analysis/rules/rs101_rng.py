@@ -1,0 +1,106 @@
+"""RS101 — unseeded or global random number generation.
+
+Every stochastic result in this library (the Eq. 13 Monte-Carlo estimator
+above all) is only reproducible if randomness flows through an explicit
+seed / :class:`numpy.random.Generator` — the contract documented in
+:mod:`repro.utils.rng`.  Three idioms silently break it:
+
+* ``np.random.<anything legacy>`` — draws from (or reseeds) NumPy's hidden
+  module-global ``RandomState``;
+* the stdlib ``random`` module — a second hidden global stream, untracked
+  by the seed plumbing;
+* ``default_rng()`` with no argument — a fresh OS-entropy generator whose
+  output can never be replayed.
+
+Whitelisted site: ``utils/rng.py`` itself, the one module allowed to talk
+to :func:`numpy.random.default_rng` on behalf of everyone else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding, SourceFile
+from repro.analysis.rules import register
+from repro.analysis.rules.base import ImportMap, Rule
+
+__all__ = ["UnseededRngRule"]
+
+#: numpy.random attributes that are fine to reference: the modern explicit
+#: Generator construction surface, not the legacy global-state functions.
+_SAFE_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class UnseededRngRule(Rule):
+    rule_id = "RS101"
+    summary = "unseeded or global RNG use (np.random.*, random.*, argless default_rng())"
+
+    def applies_to(self, source: SourceFile) -> bool:
+        # utils/rng.py is the sanctioned seed-plumbing module.
+        return source.parts[-2:] != ("utils", "rng.py")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        imports = ImportMap(source.tree)
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.resolve_strict(node.func)
+            if target is None:
+                continue
+            yield from self._check_call(source, node, target)
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, target: str
+    ) -> Iterator[Finding]:
+        if target.startswith("numpy.random."):
+            attr = target[len("numpy.random."):]
+            if attr not in _SAFE_NP_RANDOM:
+                yield self.finding(
+                    source,
+                    node,
+                    f"call to legacy global-state RNG `np.random.{attr}`; "
+                    "thread an explicit seed through "
+                    "`repro.utils.rng.as_generator` instead",
+                )
+                return
+        if target == "random" or target.startswith("random."):
+            # The stdlib module: every function shares one hidden global
+            # stream, so even `random.seed` is a reproducibility hazard.
+            yield self.finding(
+                source,
+                node,
+                f"call into the stdlib `random` module (`{target}`) uses a "
+                "hidden global stream; use a seeded numpy Generator",
+            )
+            return
+        if target == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    source,
+                    node,
+                    "`default_rng()` without a seed draws OS entropy and is "
+                    "unreproducible; pass a seed or SeedSequence",
+                )
+            elif len(node.args) == 1 and _is_none(node.args[0]):
+                yield self.finding(
+                    source,
+                    node,
+                    "`default_rng(None)` is an explicit unseeded generator; "
+                    "pass a real seed or SeedSequence",
+                )

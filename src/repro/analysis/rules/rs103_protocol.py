@@ -1,0 +1,181 @@
+"""RS103 — Distribution protocol conformance for every registered law.
+
+``repro.distributions.registry.DISTRIBUTION_FACTORIES`` is the service
+boundary: the planner instantiates laws by name, the plan-cache key hashes
+``params()``, and the Monte-Carlo kernel calls ``rvs``.  A registered class
+missing part of the protocol — or redefining it with a different signature
+— fails at request time, in production, instead of at lint time.
+
+The rule finds the registry module (``.../distributions/registry.py``),
+reads the ``DISTRIBUTION_FACTORIES`` dict literal, and checks each
+registered class *across its scanned inheritance chain* for the full
+protocol with base-compatible signatures:
+
+==================  ========================================
+method              positional args (after ``self``)
+==================  ========================================
+``support``         0
+``pdf``             1  (``t``)
+``cdf``             1  (``t``)
+``sf``              1  (``t``)
+``quantile``        1  (``q``)
+``mean``            0
+``var``             0
+``rvs``             1  (``size``; ``seed`` may default)
+``params``          0
+==================  ========================================
+
+``sf``/``mean``/``var``/``rvs`` are usually inherited from
+:class:`repro.distributions.base.Distribution` — inheriting is conformant;
+shadowing with a narrower signature is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.finding import Finding, SourceFile
+from repro.analysis.rules import register
+from repro.analysis.rules.base import (
+    ProjectRule,
+    method_defs,
+    positional_arity,
+    walk_classes,
+)
+
+__all__ = ["DistributionProtocolRule"]
+
+#: method -> positional argument count (excluding self) it must accept.
+PROTOCOL: Dict[str, int] = {
+    "support": 0,
+    "pdf": 1,
+    "cdf": 1,
+    "sf": 1,
+    "quantile": 1,
+    "mean": 0,
+    "var": 0,
+    "rvs": 1,
+    "params": 0,
+}
+
+_REGISTRY_SUFFIX = ("distributions", "registry.py")
+_FACTORIES_NAME = "DISTRIBUTION_FACTORIES"
+
+
+def _registry_entries(source: SourceFile) -> List[Tuple[str, ast.AST, str]]:
+    """(law name, value node, class name) for each registry dict entry."""
+    entries: List[Tuple[str, ast.AST, str]] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == _FACTORIES_NAME for t in targets
+        ):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            continue
+        for key, val in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(val, ast.Name)
+            ):
+                entries.append((key.value, val, val.id))
+    return entries
+
+
+class _ClassIndex:
+    """Class name -> (ClassDef, defining SourceFile) over the scanned set."""
+
+    def __init__(self, sources: Sequence[SourceFile]):
+        self.classes: Dict[str, Tuple[ast.ClassDef, SourceFile]] = {}
+        for source in sources:
+            if source.tree is None:
+                continue
+            for cls in walk_classes(source.tree):
+                # First definition wins; duplicate class names across the
+                # tree are rare and not this rule's concern.
+                self.classes.setdefault(cls.name, (cls, source))
+
+    def mro(self, name: str, _seen: Optional[set] = None) -> List[Tuple[ast.ClassDef, SourceFile]]:
+        """The class and its scanned ancestors, nearest first."""
+        seen = _seen if _seen is not None else set()
+        if name in seen or name not in self.classes:
+            return []
+        seen.add(name)
+        cls, source = self.classes[name]
+        chain = [(cls, source)]
+        for base in cls.bases:
+            base_name = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            if base_name:
+                chain.extend(self.mro(base_name, seen))
+        return chain
+
+
+def _signature_ok(fn: ast.FunctionDef, expected: int) -> bool:
+    required, total = positional_arity(fn)
+    if fn.args.vararg is not None:
+        return required <= expected
+    return required <= expected <= total
+
+
+@register
+class DistributionProtocolRule(ProjectRule):
+    rule_id = "RS103"
+    summary = "registered distribution missing or mis-declaring the protocol"
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        registries = [
+            s
+            for s in sources
+            if s.tree is not None and s.parts[-2:] == _REGISTRY_SUFFIX
+        ]
+        if not registries:
+            return
+        index = _ClassIndex(sources)
+        for registry in registries:
+            for law, value_node, class_name in _registry_entries(registry):
+                chain = index.mro(class_name)
+                if not chain:
+                    continue  # class defined outside the scanned tree
+                yield from self._check_law(law, class_name, chain)
+
+    def _check_law(
+        self,
+        law: str,
+        class_name: str,
+        chain: List[Tuple[ast.ClassDef, SourceFile]],
+    ) -> Iterator[Finding]:
+        cls_node, cls_source = chain[0]
+        resolved: Dict[str, Tuple[ast.FunctionDef, SourceFile]] = {}
+        for cls, source in chain:
+            for name, fn in method_defs(cls).items():
+                resolved.setdefault(name, (fn, source))
+        for method, expected in PROTOCOL.items():
+            entry = resolved.get(method)
+            if entry is None:
+                yield self.finding(
+                    cls_source,
+                    cls_node,
+                    f"registered law '{law}' ({class_name}) does not define "
+                    f"or inherit `{method}` — the Distribution protocol "
+                    "requires it",
+                )
+                continue
+            fn, fn_source = entry
+            if not _signature_ok(fn, expected):
+                arg_word = "argument" if expected == 1 else "arguments"
+                yield self.finding(
+                    fn_source,
+                    fn,
+                    f"`{class_name}.{method}` must accept exactly "
+                    f"{expected} positional {arg_word} after self "
+                    "(base-protocol signature)",
+                )

@@ -1,0 +1,137 @@
+"""RS104 — lock discipline in the concurrent packages.
+
+The serving layer (``service/``) and the metrics layer (``observability/``)
+are the only packages running user requests on multiple threads.  Their
+convention: an object that owns a ``_lock`` protects *all* of its mutable
+attribute state with it.  An attribute assignment outside a
+``with self._lock:`` block is either a forgotten lock (a data race the GIL
+will hide until it doesn't) or state that should not live on a locked
+object.
+
+The rule is per-class and purely lexical:
+
+* a class "owns a lock" when any of its methods assigns ``self._lock``;
+* in every method except ``__init__``/``__new__`` (construction happens
+  before the object is shared), an assignment/augmented assignment/delete
+  whose target is ``self.<attr>`` must be nested inside a ``with`` whose
+  context expression mentions ``self._lock``.
+
+Lock-free designs (immutable objects, contextvars) simply never assign
+``self._lock`` and are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.finding import Finding, SourceFile
+from repro.analysis.rules import register
+from repro.analysis.rules.base import Rule, contains_parts, walk_classes
+
+__all__ = ["LockDisciplineRule"]
+
+_CONSTRUCTORS = {"__init__", "__new__", "__post_init__"}
+
+
+def _is_self_attr(node: ast.AST, attr: str = "") -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (not attr or node.attr == attr)
+    )
+
+
+def _assigns_self_lock(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            if any(_is_self_attr(t, "_lock") for t in node.targets):
+                return True
+        elif isinstance(node, ast.AnnAssign):
+            if _is_self_attr(node.target, "_lock"):
+                return True
+    return False
+
+
+def _with_holds_lock(node: ast.With) -> bool:
+    return any(
+        _is_self_attr(item.context_expr, "_lock")
+        or (
+            isinstance(item.context_expr, ast.Call)
+            and any(
+                _is_self_attr(arg, "_lock") for arg in item.context_expr.args
+            )
+        )
+        for item in node.items
+    )
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "RS104"
+    summary = "attribute mutation of a lock-owning object outside its lock"
+
+    SCOPE = ("service", "observability")
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return contains_parts(source.parts, self.SCOPE)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for cls in walk_classes(source.tree):
+            methods = [
+                item
+                for item in cls.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            if not any(_assigns_self_lock(m) for m in methods):
+                continue
+            for method in methods:
+                if method.name in _CONSTRUCTORS:
+                    continue
+                yield from self._check_method(source, cls, method)
+
+    def _check_method(
+        self, source: SourceFile, cls: ast.ClassDef, method: ast.AST
+    ) -> Iterator[Finding]:
+        # Walk with an explicit stack so mutations inside `with self._lock:`
+        # subtrees are skipped wholesale (nested defs keep being checked:
+        # a closure mutating self still races).
+        stack: List[ast.AST] = list(ast.iter_child_nodes(method))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.With) and _with_holds_lock(node):
+                continue
+            mutated = self._mutated_attr(node)
+            if mutated is not None and mutated != "_lock":
+                yield self.finding(
+                    source,
+                    node,
+                    f"`{cls.name}.{method.name}` mutates `self.{mutated}` "
+                    f"outside `with self._lock:` — {cls.name} owns a lock, "
+                    "so shared state must be mutated under it",
+                )
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _mutated_attr(node: ast.AST):
+        def first_self_attr(targets):
+            for target in targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    found = first_self_attr(target.elts)
+                    if found is not None:
+                        return found
+                elif isinstance(target, ast.Starred):
+                    if _is_self_attr(target.value):
+                        return target.value.attr
+                elif _is_self_attr(target):
+                    return target.attr
+            return None
+
+        if isinstance(node, ast.Assign):
+            return first_self_attr(node.targets)
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return first_self_attr([node.target])
+        if isinstance(node, ast.Delete):
+            return first_self_attr(node.targets)
+        return None

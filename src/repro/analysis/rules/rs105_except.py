@@ -1,0 +1,87 @@
+"""RS105 — swallowed exceptions.
+
+A bare ``except:`` or an over-broad ``except Exception:`` whose body
+neither re-raises nor *uses* the caught error turns real failures —
+numerical blowups, pickling errors in the process pool, broken sockets in
+the server — into silent wrong answers.  In the retry paths
+(``service/pool.py``) that means a task can "succeed" with a dropped
+result; in a strategy it means a fallback silently replaces the paper's
+heuristic.
+
+The handler is compliant when any of:
+
+* the caught exception is narrowed to specific types (not
+  ``Exception``/``BaseException``);
+* the body re-raises (``raise`` / ``raise X from err``);
+* the body references the bound error name (logged, counted, chained,
+  wrapped — the error is demonstrably not dropped).
+
+An intentionally-broad guard keeps an inline
+``# repro-lint: disable=RS105 -- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding, SourceFile
+from repro.analysis.rules import register
+from repro.analysis.rules.base import Rule
+
+__all__ = ["SwallowedExceptionRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler_type) -> bool:
+    if handler_type is None:
+        return True  # bare `except:`
+    if isinstance(handler_type, ast.Name):
+        return handler_type.id in _BROAD
+    if isinstance(handler_type, ast.Tuple):
+        return any(_is_broad(el) for el in handler_type.elts)
+    return False
+
+
+def _uses_name(body, name: str) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    return False
+
+
+def _reraises(body) -> bool:
+    return any(
+        isinstance(node, ast.Raise) for stmt in body for node in ast.walk(stmt)
+    )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    rule_id = "RS105"
+    summary = "bare/over-broad except that drops the error"
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if _reraises(node.body):
+                continue
+            if node.name and _uses_name(node.body, node.name):
+                continue
+            what = "bare `except:`" if node.type is None else "`except Exception`"
+            detail = (
+                "binds the error but never uses it"
+                if node.name
+                else "does not bind or re-raise the error"
+            )
+            yield self.finding(
+                source,
+                node,
+                f"{what} {detail}; narrow the exception types, re-raise, "
+                "or record the error",
+            )

@@ -55,7 +55,8 @@ class CostModel:
 
     @property
     def is_reservation_only(self) -> bool:
-        return self.beta == 0.0 and self.gamma == 0.0
+        # Exact sentinel: beta/gamma are user-set constants, not computed.
+        return self.beta == 0.0 and self.gamma == 0.0  # repro-lint: disable=RS102 -- exact config sentinel
 
     # ------------------------------------------------------------------
     # Single-reservation and cumulative costs

@@ -46,10 +46,10 @@ class Beta(Distribution):
             )
             body = np.exp(log_body)
         # Edge behaviour for shape parameters < 1 (density diverges) or > 1 (0).
-        body = np.where((tt == 0.0) & (self.alpha < 1.0), np.inf, body)
-        body = np.where((tt == 0.0) & (self.alpha > 1.0), 0.0, body)
-        body = np.where((tt == 1.0) & (self.beta < 1.0), np.inf, body)
-        body = np.where((tt == 1.0) & (self.beta > 1.0), 0.0, body)
+        body = np.where((tt == 0.0) & (self.alpha < 1.0), np.inf, body)  # repro-lint: disable=RS102 -- exact support endpoint
+        body = np.where((tt == 0.0) & (self.alpha > 1.0), 0.0, body)  # repro-lint: disable=RS102 -- exact support endpoint
+        body = np.where((tt == 1.0) & (self.beta < 1.0), np.inf, body)  # repro-lint: disable=RS102 -- exact support endpoint
+        body = np.where((tt == 1.0) & (self.beta > 1.0), 0.0, body)  # repro-lint: disable=RS102 -- exact support endpoint
         out = np.where(inside, body, 0.0)
         return out if out.ndim else float(out)
 

@@ -72,14 +72,14 @@ class BoundedPareto(Distribution):
 
     def mean(self) -> float:
         a, L, H = self.alpha, self.low, self.high
-        if a == 1.0:
+        if a == 1.0:  # repro-lint: disable=RS102 -- alpha=1 singular closed form
             # Limit case: E[X] = ln(H/L) * (L*H)/(H - L) ... derived from integral.
             return math.log(H / L) * L / (1.0 - L / H)
         return (a / (a - 1.0)) * (H**a * L - H * L**a) / (H**a - L**a)
 
     def second_moment(self) -> float:
         a, L, H = self.alpha, self.low, self.high
-        if a == 2.0:
+        if a == 2.0:  # repro-lint: disable=RS102 -- alpha=2 singular closed form
             return 2.0 * (L**2 * math.log(H / L)) / (1.0 - (L / H) ** 2)
         return (a / (a - 2.0)) * (H**a * L**2 - H**2 * L**a) / (H**a - L**a)
 
@@ -98,7 +98,7 @@ class BoundedPareto(Distribution):
                 f">= H={self.high}"
             )
         a, H = self.alpha, self.high
-        if a == 1.0:
+        if a == 1.0:  # repro-lint: disable=RS102 -- alpha=1 singular closed form
             return math.log(H / tau) / (1.0 / tau - 1.0 / H)
         return (a / (a - 1.0)) * (H ** (1.0 - a) - tau ** (1.0 - a)) / (
             H ** (-a) - tau ** (-a)

@@ -52,7 +52,7 @@ class Gamma(Distribution):
                 - special.gammaln(a)
             )
             body = np.exp(log_body)
-            body = np.where(tt > 0, body, b if a == 1.0 else (math.inf if a < 1.0 else 0.0))
+            body = np.where(tt > 0, body, b if a == 1.0 else (math.inf if a < 1.0 else 0.0))  # repro-lint: disable=RS102 -- shape=1 exact density limit at 0
         out = np.where(t >= 0.0, body, 0.0)
         return out if out.ndim else float(out)
 

@@ -32,7 +32,7 @@ def log_upper_gamma(s: float, x: float) -> float:
     """
     if x < 0:
         raise ValueError(f"upper incomplete gamma needs x >= 0, got {x}")
-    if x == 0.0:
+    if x == 0.0:  # repro-lint: disable=RS102 -- exact x=0 special case
         return float(special.gammaln(s))
     q = float(special.gammaincc(s, x))
     if q > 0.0 and math.isfinite(q):

@@ -51,7 +51,7 @@ class Weibull(Distribution):
             tt = np.maximum(t, 0.0)
             body = (k / lam) * np.power(tt / lam, k - 1.0) * np.exp(-self._z(tt))
         # shape < 1 diverges at 0; report +inf there, 0 for negative t.
-        out = np.where(t > 0.0, body, np.where(t == 0.0, body, 0.0))
+        out = np.where(t > 0.0, body, np.where(t == 0.0, body, 0.0))  # repro-lint: disable=RS102 -- exact support endpoint
         return out if out.ndim else float(out)
 
     def cdf(self, t):

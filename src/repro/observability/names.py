@@ -1,0 +1,105 @@
+"""Canonical metric names — the single source of truth.
+
+Every counter/gauge/histogram/timer name recorded anywhere in the library
+is declared here, so the ``/metrics`` endpoint, ``docs/SERVICE.md``, and
+dashboards can never drift apart silently: the RS106 rule of ``repro-lint``
+cross-checks each metric call site in ``src/`` against this module.
+
+Conventions:
+
+* dotted lowercase, ``<subsystem>.<event>`` (``plancache.hits``);
+* counters are plural events, timers name the measured region;
+* runtime-built families (one name per HTTP status, per strategy, per
+  profiled function) declare their static prefix in
+  :data:`DYNAMIC_PREFIXES`.
+
+Modules under ``service/`` and ``observability/`` import these constants;
+elsewhere string literals are allowed but must match this inventory.
+"""
+
+from __future__ import annotations
+
+# -- core / strategies ---------------------------------------------------
+RECURRENCE_ITERATIONS = "recurrence.iterations"
+SEQUENCE_EXTENSIONS = "sequence.extensions"
+BRUTE_FORCE_CANDIDATES = "brute_force.candidates"
+BRUTE_FORCE_FEASIBLE_CANDIDATES = "brute_force.feasible_candidates"
+DP_SOLVES = "dp.solves"
+DP_POINTS = "dp.points"
+
+# -- Monte-Carlo kernel / evaluator --------------------------------------
+MC_SAMPLES = "mc.samples"
+MC_KERNEL_CALLS = "mc.kernel_calls"
+MC_KERNEL = "mc.kernel"
+MC_SEARCHSORTED_REUSED = "mc.searchsorted_reused"
+MC_PARALLEL_CHUNKS = "mc.parallel_chunks"
+EVALUATOR_EVALUATIONS = "evaluator.evaluations"
+EVALUATOR_MONTE_CARLO = "evaluator.monte_carlo"
+EVALUATOR_SERIES = "evaluator.series"
+
+# -- batch simulator / runtime sessions ----------------------------------
+BATCHSIM_SIMULATE = "batchsim.simulate"
+BATCHSIM_QUEUE_DEPTH = "batchsim.queue_depth"
+BATCHSIM_EVENTS = "batchsim.events"
+BATCHSIM_SCHEDULER_INVOCATIONS = "batchsim.scheduler_invocations"
+BATCHSIM_JOBS = "batchsim.jobs"
+SESSION_REQUESTS = "session.requests"
+SESSION_ATTEMPTS = "session.attempts"
+SESSION_SUCCESSES = "session.successes"
+SESSION_FAILURES = "session.failures"
+
+# -- verification sweep --------------------------------------------------
+VERIFICATION_SWEEP = "verification.sweep"
+VERIFICATION_CHECKS = "verification.checks"
+VERIFICATION_FAILURES = "verification.failures"
+
+# -- plan cache ----------------------------------------------------------
+PLANCACHE_HITS = "plancache.hits"
+PLANCACHE_MISSES = "plancache.misses"
+PLANCACHE_EVICTIONS = "plancache.evictions"
+PLANCACHE_EXPIRATIONS = "plancache.expirations"
+PLANCACHE_SIZE = "plancache.size"
+PLANCACHE_COMPUTE = "plancache.compute"
+PLANCACHE_SNAPSHOTS_SAVED = "plancache.snapshots_saved"
+PLANCACHE_SNAPSHOT_VERSION_MISMATCH = "plancache.snapshot_version_mismatch"
+PLANCACHE_SNAPSHOT_ENTRIES_LOADED = "plancache.snapshot_entries_loaded"
+
+# -- execution pool ------------------------------------------------------
+POOL_MAP = "pool.map"
+POOL_TASKS = "pool.tasks"
+POOL_RETRIES = "pool.retries"
+POOL_TIMEOUTS = "pool.timeouts"
+POOL_FAILURES = "pool.failures"
+
+# -- planner service + HTTP front end ------------------------------------
+SERVICE_PLAN_REQUESTS = "service.plan_requests"
+SERVICE_PLAN = "service.plan"
+SERVICE_PLAN_COMPUTE = "service.plan_compute"
+SERVICE_EVALUATE_REQUESTS = "service.evaluate_requests"
+SERVICE_EVALUATE = "service.evaluate"
+SERVER_REQUESTS = "server.requests"
+SERVER_THROTTLED = "server.throttled"
+SERVER_ERRORS = "server.errors"
+SERVER_RESPONSES_OK = "server.responses.200"
+#: Static prefix of the per-status response counters (a DYNAMIC_PREFIXES
+#: family); full names are built as f"{SERVER_RESPONSES_PREFIX}{status}".
+SERVER_RESPONSES_PREFIX = "server.responses."
+
+#: Families whose full names are built at runtime.  A literal or f-string
+#: starting with one of these prefixes is canonical by construction.
+DYNAMIC_PREFIXES = (
+    "server.responses.",  # one counter per HTTP status code
+    "strategy.created.",  # one counter per strategy key
+    "profile.",           # one timer per @profiled function
+)
+
+
+def all_metric_names() -> frozenset:
+    """Every canonical (non-dynamic) metric name declared above."""
+    return frozenset(
+        value
+        for key, value in globals().items()
+        if key.isupper()
+        and key != "DYNAMIC_PREFIXES"
+        and isinstance(value, str)
+    )

@@ -29,6 +29,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.observability import metrics
+from repro.observability import names
 
 __all__ = ["PlanCache", "SNAPSHOT_VERSION"]
 
@@ -77,13 +78,13 @@ class PlanCache:
             entry = self._data.get(key)
             if entry is not None and self._expired(entry[0]):
                 del self._data[key]
-                metrics.inc("plancache.expirations")
+                metrics.inc(names.PLANCACHE_EXPIRATIONS)
                 entry = None
             if entry is None:
-                metrics.inc("plancache.misses")
+                metrics.inc(names.PLANCACHE_MISSES)
                 return None
             self._data.move_to_end(key)
-            metrics.inc("plancache.hits")
+            metrics.inc(names.PLANCACHE_HITS)
             return entry[1]
 
     def put(self, key: str, payload: dict, created_at: Optional[float] = None) -> None:
@@ -95,8 +96,8 @@ class PlanCache:
             self._data[key] = (stamp, payload)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
-                metrics.inc("plancache.evictions")
-            metrics.set_gauge("plancache.size", len(self._data))
+                metrics.inc(names.PLANCACHE_EVICTIONS)
+            metrics.set_gauge(names.PLANCACHE_SIZE, len(self._data))
 
     def get_or_compute(
         self, key: str, factory: Callable[[], dict]
@@ -115,7 +116,7 @@ class PlanCache:
             payload = self.get(key)  # a waiter finds the winner's entry here
             if payload is not None:
                 return payload, True
-            with metrics.timer("plancache.compute"):
+            with metrics.timer(names.PLANCACHE_COMPUTE):
                 payload = factory()
             self.put(key, payload)
             return payload, False
@@ -127,7 +128,7 @@ class PlanCache:
     def clear(self) -> None:
         with self._lock:
             self._data.clear()
-            metrics.set_gauge("plancache.size", 0)
+            metrics.set_gauge(names.PLANCACHE_SIZE, 0)
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -160,7 +161,7 @@ class PlanCache:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2)
             fh.write("\n")
-        metrics.inc("plancache.snapshots_saved")
+        metrics.inc(names.PLANCACHE_SNAPSHOTS_SAVED)
         return len(entries)
 
     def load(self, path: str) -> int:
@@ -173,7 +174,7 @@ class PlanCache:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
         if not isinstance(doc, dict) or doc.get("version") != SNAPSHOT_VERSION:
-            metrics.inc("plancache.snapshot_version_mismatch")
+            metrics.inc(names.PLANCACHE_SNAPSHOT_VERSION_MISMATCH)
             return 0
         loaded = 0
         for entry in doc.get("entries", []):
@@ -187,5 +188,5 @@ class PlanCache:
                 continue
             self.put(key, payload, created_at=created_at)
             loaded += 1
-        metrics.inc("plancache.snapshot_entries_loaded", loaded)
+        metrics.inc(names.PLANCACHE_SNAPSHOT_ENTRIES_LOADED, loaded)
         return loaded

@@ -36,6 +36,7 @@ from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence
 from repro.distributions.registry import DISTRIBUTION_FACTORIES, make_distribution
 from repro.observability import metrics
+from repro.observability import names
 from repro.service.keys import plan_key
 from repro.service.plancache import PlanCache
 from repro.service.pool import ExecutionBackend, SerialBackend, get_backend
@@ -188,7 +189,7 @@ class PlannerService:
     # ------------------------------------------------------------------
     def plan(self, request: Mapping) -> Dict[str, object]:
         """Compute (or fetch) the plan for ``request``; see module docstring."""
-        metrics.inc("service.plan_requests")
+        metrics.inc(names.SERVICE_PLAN_REQUESTS)
         distribution = _parse_distribution(request)
         cost_model = _parse_cost_model(request)
         strategy_name, knobs = _parse_strategy(request)
@@ -213,7 +214,7 @@ class PlannerService:
                 n_samples, seed,
             )
 
-        with metrics.timer("service.plan"):
+        with metrics.timer(names.SERVICE_PLAN):
             payload, cached = self.cache.get_or_compute(key, compute)
         response = dict(payload)
         response["cached"] = cached
@@ -227,7 +228,7 @@ class PlannerService:
             strategy = make_strategy(strategy_name, **knobs)
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"bad strategy knobs: {exc}") from None
-        with metrics.timer("service.plan_compute"):
+        with metrics.timer(names.SERVICE_PLAN_COMPUTE):
             sequence = strategy.sequence(distribution, cost_model)
             sequence.ensure_covers(float(distribution.quantile(coverage)))
             reservations = [float(v) for v in sequence.values]
@@ -280,7 +281,7 @@ class PlannerService:
         warm evaluate never re-runs the strategy; only the sampling runs,
         through the service's execution backend.
         """
-        metrics.inc("service.evaluate_requests")
+        metrics.inc(names.SERVICE_EVALUATE_REQUESTS)
         plan_response = self.plan(request)
         distribution = _parse_distribution(request)
         cost_model = _parse_cost_model(request)
@@ -291,7 +292,7 @@ class PlannerService:
         sequence = ReservationSequence(
             values, extend=_doubling_tail, name=plan_response["plan"]["strategy"]
         )
-        with metrics.timer("service.evaluate"):
+        with metrics.timer(names.SERVICE_EVALUATE):
             mc = monte_carlo_expected_cost(
                 sequence,
                 distribution,

@@ -38,6 +38,7 @@ import os
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.observability import metrics
+from repro.observability import names
 
 __all__ = [
     "PoolError",
@@ -116,9 +117,9 @@ class SerialBackend(ExecutionBackend):
 
     def map(self, fn, items, timeout=None, retries=0):
         results = []
-        with metrics.timer("pool.map"):
+        with metrics.timer(names.POOL_MAP):
             for item in items:
-                metrics.inc("pool.tasks")
+                metrics.inc(names.POOL_TASKS)
                 attempt = 0
                 while True:
                     try:
@@ -127,11 +128,11 @@ class SerialBackend(ExecutionBackend):
                     except Exception as exc:
                         attempt += 1
                         if attempt > retries:
-                            metrics.inc("pool.failures")
+                            metrics.inc(names.POOL_FAILURES)
                             raise PoolError(
                                 f"task failed after {attempt} attempt(s): {exc}"
                             ) from exc
-                        metrics.inc("pool.retries")
+                        metrics.inc(names.POOL_RETRIES)
         return results
 
 
@@ -145,9 +146,9 @@ class _ExecutorBackend(ExecutionBackend):
     def map(self, fn, items, timeout=None, retries=0):
         items = list(items)
         futures = [self._executor.submit(fn, item) for item in items]
-        metrics.inc("pool.tasks", len(items))
+        metrics.inc(names.POOL_TASKS, len(items))
         results: List = [None] * len(items)
-        with metrics.timer("pool.map"):
+        with metrics.timer(names.POOL_MAP):
             for i, future in enumerate(futures):
                 attempts = 0
                 while True:
@@ -156,17 +157,17 @@ class _ExecutorBackend(ExecutionBackend):
                         break
                     except Exception as exc:
                         if isinstance(exc, concurrent.futures.TimeoutError):
-                            metrics.inc("pool.timeouts")
+                            metrics.inc(names.POOL_TIMEOUTS)
                         attempts += 1
                         if attempts > retries:
-                            metrics.inc("pool.failures")
+                            metrics.inc(names.POOL_FAILURES)
                             for pending in futures[i:]:
                                 pending.cancel()
                             raise PoolError(
                                 f"task {i} failed after {attempts} attempt(s): "
                                 f"{exc!r}"
                             ) from exc
-                        metrics.inc("pool.retries")
+                        metrics.inc(names.POOL_RETRIES)
                         future = self._executor.submit(fn, items[i])
         return results
 

@@ -33,6 +33,7 @@ from typing import Tuple
 
 from repro import observability as obs
 from repro.observability import metrics
+from repro.observability import names
 from repro.service.planner import PlannerService, ServiceError
 
 __all__ = ["PlanServer", "serve", "main"]
@@ -89,7 +90,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _error(self, status: int, message: str, extra_headers=()) -> None:
-        metrics.inc(f"server.responses.{status}")
+        metrics.inc(f"{names.SERVER_RESPONSES_PREFIX}{status}")
         self._send_json(status, {"error": message}, extra_headers)
 
     def _read_body(self) -> dict:
@@ -109,7 +110,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:
-        metrics.inc("server.requests")
+        metrics.inc(names.SERVER_REQUESTS)
         if self.path == "/healthz":
             self._send_json(200, self.server.service.health())
         elif self.path == "/metrics":
@@ -118,12 +119,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(404, f"unknown endpoint {self.path!r}")
 
     def do_POST(self) -> None:
-        metrics.inc("server.requests")
+        metrics.inc(names.SERVER_REQUESTS)
         if self.path not in ("/plan", "/evaluate"):
             self._error(404, f"unknown endpoint {self.path!r}")
             return
         if not self.server.try_admit():
-            metrics.inc("server.throttled")
+            metrics.inc(names.SERVER_THROTTLED)
             self._error(
                 429,
                 f"server at capacity ({self.server.max_inflight} in-flight)",
@@ -136,11 +137,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.server.service.plan(body))
             else:
                 self._send_json(200, self.server.service.evaluate(body))
-            metrics.inc("server.responses.200")
+            metrics.inc(names.SERVER_RESPONSES_OK)
         except ServiceError as exc:
             self._error(exc.status, str(exc))
         except Exception as exc:  # noqa: BLE001 - service must not die per-request
-            metrics.inc("server.errors")
+            metrics.inc(names.SERVER_ERRORS)
             self._error(500, f"internal error: {type(exc).__name__}: {exc}")
         finally:
             self.server.release()

@@ -215,7 +215,10 @@ class BruteForce(Strategy):
                 return hi
             try:
                 nxt = float(distribution.conditional_expectation(prev))
-            except Exception:
+            except (ValueError, ArithmeticError):
+                # SupportError (tau at/past the support edge) or a numeric
+                # blowup in the quadrature fallback; double instead.  Other
+                # exception types are bugs and must propagate.
                 nxt = prev * 2.0
             return nxt if nxt > prev else prev * 2.0
 

@@ -1,0 +1,35 @@
+"""Fixture plumbing for the ``repro.analysis`` test suite.
+
+``lint`` writes a dict of ``relative/path.py -> source`` into a temp tree
+and runs the engine over it with one rule (or all rules) selected, so each
+rule test reads as: *this snippet fires, this one doesn't, this one is
+suppressed*.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import all_rules
+
+
+@pytest.fixture
+def lint(tmp_path):
+    def run(files, rule=None):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        rules = all_rules([rule]) if rule is not None else None
+        return analyze_paths([str(tmp_path)], rules=rules)
+
+    return run
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+def lines(result):
+    return [f.line for f in result.findings]

@@ -1,0 +1,87 @@
+"""RS102: float equality comparisons."""
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_float_literal_equality_fires_in_core(lint):
+    result = lint(
+        {"core/mod.py": """\
+            def check(x):
+                return x == 1.5
+        """},
+        rule="RS102",
+    )
+    assert rule_ids(result) == ["RS102"]
+
+
+def test_not_equal_and_float_call_fire(lint):
+    result = lint(
+        {"strategies/mod.py": """\
+            def f(a, b):
+                return float(a) != b
+        """},
+        rule="RS102",
+    )
+    assert rule_ids(result) == ["RS102"]
+
+
+def test_math_constant_equality_fires(lint):
+    result = lint(
+        {"distributions/mod.py": """\
+            import math
+
+            def is_inf(x):
+                return x == math.inf
+        """},
+        rule="RS102",
+    )
+    assert rule_ids(result) == ["RS102"]
+
+
+def test_integer_equality_passes(lint):
+    result = lint(
+        {"core/mod.py": """\
+            def f(n):
+                return n == 0 or n != 10
+        """},
+        rule="RS102",
+    )
+    assert result.findings == []
+
+
+def test_float_inequality_ordering_passes(lint):
+    result = lint(
+        {"core/mod.py": """\
+            def f(x):
+                return x < 1.5 or x >= 0.0
+        """},
+        rule="RS102",
+    )
+    assert result.findings == []
+
+
+def test_out_of_scope_package_passes(lint):
+    # Same comparison outside core/strategies/distributions: not this
+    # rule's business (service code compares config floats legitimately).
+    result = lint(
+        {"service/mod.py": """\
+            def f(x):
+                return x == 1.5
+        """},
+        rule="RS102",
+    )
+    assert result.findings == []
+
+
+def test_suppressed_with_reason(lint):
+    result = lint(
+        {"distributions/mod.py": """\
+            def pdf(alpha):
+                if alpha == 1.0:  # repro-lint: disable=RS102 -- exact closed-form switch
+                    return 0.0
+                return 1.0
+        """},
+        rule="RS102",
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RS102"]

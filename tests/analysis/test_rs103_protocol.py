@@ -1,0 +1,130 @@
+"""RS103: Distribution protocol conformance against the registry."""
+
+from tests.analysis.conftest import rule_ids
+
+_BASE = """\
+    class Distribution:
+        def support(self): ...
+        def pdf(self, t): ...
+        def cdf(self, t): ...
+        def sf(self, t): ...
+        def quantile(self, q): ...
+        def mean(self): ...
+        def var(self): ...
+        def rvs(self, size, seed=None): ...
+        def params(self): ...
+"""
+
+
+def _registry(*laws):
+    entries = ", ".join(f'"{law}": {cls}' for law, cls in laws)
+    imports = "\n".join(
+        f"from distributions.{cls.lower()} import {cls}" for _, cls in laws
+    )
+    return f"{imports}\nDISTRIBUTION_FACTORIES = {{{entries}}}\n"
+
+
+def test_conformant_registered_law_passes(lint):
+    result = lint(
+        {
+            "distributions/base.py": _BASE,
+            "distributions/good.py": """\
+                from distributions.base import Distribution
+
+                class Good(Distribution):
+                    def pdf(self, t): ...
+                    def cdf(self, t): ...
+                    def quantile(self, q): ...
+                    def params(self): ...
+            """,
+            "distributions/registry.py": _registry(("good", "Good")),
+        },
+        rule="RS103",
+    )
+    assert result.findings == []
+
+
+def test_missing_method_fires(lint):
+    result = lint(
+        {
+            "distributions/bad.py": """\
+                class Bad:
+                    def pdf(self, t): ...
+                    def cdf(self, t): ...
+            """,
+            "distributions/registry.py": (
+                "from distributions.bad import Bad\n"
+                'DISTRIBUTION_FACTORIES = {"bad": Bad}\n'
+            ),
+        },
+        rule="RS103",
+    )
+    missing = {
+        m.split("`")[1] for m in (f.message for f in result.findings)
+    }
+    assert set(rule_ids(result)) == {"RS103"}
+    # Everything except pdf/cdf is reported missing.
+    assert missing == {
+        "support", "sf", "quantile", "mean", "var", "rvs", "params",
+    }
+
+
+def test_signature_mismatch_fires(lint):
+    result = lint(
+        {
+            "distributions/base.py": _BASE,
+            "distributions/narrow.py": """\
+                from distributions.base import Distribution
+
+                class Narrow(Distribution):
+                    def pdf(self, t, extra): ...
+            """,
+            "distributions/registry.py": _registry(("narrow", "Narrow")),
+        },
+        rule="RS103",
+    )
+    assert rule_ids(result) == ["RS103"]
+    assert "Narrow.pdf" in result.findings[0].message
+
+
+def test_extra_defaulted_params_are_allowed(lint):
+    result = lint(
+        {
+            "distributions/base.py": _BASE,
+            "distributions/wide.py": """\
+                from distributions.base import Distribution
+
+                class Wide(Distribution):
+                    def quantile(self, q, method="exact"): ...
+            """,
+            "distributions/registry.py": _registry(("wide", "Wide")),
+        },
+        rule="RS103",
+    )
+    assert result.findings == []
+
+
+def test_unregistered_class_is_ignored(lint):
+    result = lint(
+        {
+            "distributions/helper.py": """\
+                class NotALaw:
+                    pass
+            """,
+            "distributions/registry.py": "DISTRIBUTION_FACTORIES = {}\n",
+        },
+        rule="RS103",
+    )
+    assert result.findings == []
+
+
+def test_real_registry_is_conformant():
+    """The shipped registry passes its own protocol rule."""
+    from repro.analysis.engine import analyze_paths
+    from repro.analysis.rules import all_rules
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro" / "distributions"
+    result = analyze_paths([str(src)], rules=all_rules(["RS103"]))
+    assert result.findings == []
+    assert result.n_files > 10

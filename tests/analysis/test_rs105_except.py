@@ -1,0 +1,104 @@
+"""RS105: swallowed exceptions."""
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_bare_except_pass_fires(lint):
+    result = lint(
+        {"mod.py": """\
+            def f():
+                try:
+                    risky()
+                except:
+                    pass
+        """},
+        rule="RS105",
+    )
+    assert rule_ids(result) == ["RS105"]
+    assert "bare `except:`" in result.findings[0].message
+
+
+def test_broad_except_unused_binding_fires(lint):
+    result = lint(
+        {"mod.py": """\
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    return None
+        """},
+        rule="RS105",
+    )
+    assert rule_ids(result) == ["RS105"]
+    assert "never uses it" in result.findings[0].message
+
+
+def test_broad_type_in_tuple_fires(lint):
+    result = lint(
+        {"mod.py": """\
+            def f():
+                try:
+                    risky()
+                except (ValueError, Exception):
+                    return 0
+        """},
+        rule="RS105",
+    )
+    assert rule_ids(result) == ["RS105"]
+
+
+def test_narrow_except_passes(lint):
+    result = lint(
+        {"mod.py": """\
+            def f():
+                try:
+                    risky()
+                except (ValueError, ArithmeticError):
+                    return 0
+        """},
+        rule="RS105",
+    )
+    assert result.findings == []
+
+
+def test_reraise_passes(lint):
+    result = lint(
+        {"mod.py": """\
+            def f():
+                try:
+                    risky()
+                except Exception as exc:
+                    raise RuntimeError("boom") from exc
+        """},
+        rule="RS105",
+    )
+    assert result.findings == []
+
+
+def test_using_the_bound_error_passes(lint):
+    result = lint(
+        {"mod.py": """\
+            def f(log):
+                try:
+                    risky()
+                except Exception as exc:
+                    log.warning("failed: %s", exc)
+        """},
+        rule="RS105",
+    )
+    assert result.findings == []
+
+
+def test_suppression(lint):
+    result = lint(
+        {"mod.py": """\
+            def f():
+                try:
+                    risky()
+                except Exception:  # repro-lint: disable=RS105 -- best-effort cleanup
+                    pass
+        """},
+        rule="RS105",
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RS105"]

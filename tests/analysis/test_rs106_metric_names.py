@@ -1,0 +1,153 @@
+"""RS106: metric-name drift against the canonical names module."""
+
+from tests.analysis.conftest import rule_ids
+
+_NAMES = """\
+    PLANCACHE_HITS = "plancache.hits"
+    PLANCACHE_MISSES = "plancache.misses"
+    DYNAMIC_PREFIXES = ("server.responses.",)
+"""
+
+
+def test_canonical_literal_passes(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                from observability import metrics
+
+                def hit():
+                    metrics.inc("plancache.hits")
+            """,
+        },
+        rule="RS106",
+    )
+    assert result.findings == []
+
+
+def test_typo_literal_fires(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                from observability import metrics
+
+                def hit():
+                    metrics.inc("plancache.hit")
+            """,
+        },
+        rule="RS106",
+    )
+    assert rule_ids(result) == ["RS106"]
+    assert "plancache.hit" in result.findings[0].message
+
+
+def test_dynamic_prefix_fstring_passes(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                from observability import metrics
+
+                def respond(status):
+                    metrics.inc(f"server.responses.{status}")
+            """,
+        },
+        rule="RS106",
+    )
+    assert result.findings == []
+
+
+def test_unregistered_fstring_fires(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                from observability import metrics
+
+                def respond(kind):
+                    metrics.inc(f"adhoc.{kind}")
+            """,
+        },
+        rule="RS106",
+    )
+    assert rule_ids(result) == ["RS106"]
+
+
+def test_names_constant_reference_passes(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                from observability import metrics
+                from repro.observability import names
+
+                def miss():
+                    metrics.inc(names.PLANCACHE_MISSES)
+            """,
+        },
+        rule="RS106",
+    )
+    assert result.findings == []
+
+
+def test_nonexistent_constant_fires(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                from observability import metrics
+                from repro.observability import names
+
+                def miss():
+                    metrics.inc(names.PLANCACHE_EVICTIONS)
+            """,
+        },
+        rule="RS106",
+    )
+    assert rule_ids(result) == ["RS106"]
+    assert "PLANCACHE_EVICTIONS" in result.findings[0].message
+
+
+def test_runtime_built_name_fires(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                from observability import metrics
+
+                def record(name):
+                    metrics.inc(name)
+            """,
+        },
+        rule="RS106",
+    )
+    assert rule_ids(result) == ["RS106"]
+
+
+def test_silent_without_names_module(lint):
+    # Nothing to check against: the rule must not guess.
+    result = lint(
+        {"service/mod.py": """\
+            from observability import metrics
+
+            def hit():
+                metrics.inc("whatever.name")
+        """},
+        rule="RS106",
+    )
+    assert result.findings == []
+
+
+def test_non_metrics_receiver_is_ignored(lint):
+    result = lint(
+        {
+            "observability/names.py": _NAMES,
+            "service/mod.py": """\
+                def f(counters):
+                    counters.inc("not.a.metric")
+            """,
+        },
+        rule="RS106",
+    )
+    assert result.findings == []

@@ -1,0 +1,31 @@
+"""The repository must pass its own linter, modulo the committed baseline.
+
+This is the gate CI runs; keeping it in the suite means `pytest` alone
+catches a finding before the lint job does.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_src_is_lint_clean(monkeypatch, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    assert (REPO_ROOT / ".repro-lint-baseline.json").exists()
+    assert run(["src"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s)" in out
+
+
+def test_repo_json_report_shape(monkeypatch, tmp_path, capsys):
+    monkeypatch.chdir(REPO_ROOT)
+    report_path = tmp_path / "report.json"
+    assert run(["src", "--format", "json", "-o", str(report_path)]) == 0
+    doc = json.loads(report_path.read_text())
+    assert doc["summary"]["new"] == 0
+    assert doc["summary"]["files"] > 100
+    # The intentional exact-comparison disables are visible, not hidden.
+    assert doc["summary"]["suppressed"] >= 10
