@@ -29,7 +29,7 @@ from repro import observability as obs
 from repro.core.cost import CostModel
 from repro.distributions.registry import make_distribution
 from repro.service.plancache import PlanCache
-from repro.service.planner import PlannerService
+from repro.service.planner import PlannerService, ResilienceOptions
 from repro.service.pool import SerialBackend, ThreadBackend
 from repro.simulation.monte_carlo import monte_carlo_expected_cost
 from repro.strategies.registry import make_strategy
@@ -155,6 +155,38 @@ def test_thread_vs_serial_mc(fresh_registry):
         "serial_mean_cost": serial.mean_cost,
         "thread_mean_cost": parallel.mean_cost,
     }
+
+
+def test_resilience_overhead(fresh_registry):
+    """Policies enabled but no faults: the resilience layer must be ~free.
+
+    The degradation ladder, breaker check, and retry wrapper all sit on the
+    evaluate hot path; with ``REPRO_FAULTS`` unset they should cost a guard
+    clause each.  Asserts enabled-path medians stay within 5% of the
+    ``ResilienceOptions.disabled()`` baseline (plus a 2ms epsilon so
+    sub-millisecond jitter on shared runners can't flip the verdict).
+    """
+    request = {**REQUEST, "strategy": "mean_by_mean"}
+
+    def evaluate_with(resilience):
+        service = PlannerService(
+            cache=PlanCache(maxsize=32), n_samples=2000, resilience=resilience
+        )
+        service.plan(request)  # warm the plan cache: time only the MC path
+        return _median_time(lambda: service.evaluate(request), repeats=10)
+
+    raw_s = evaluate_with(ResilienceOptions.disabled())
+    res_s = evaluate_with(None)  # defaults: policies armed, no faults
+
+    overhead = res_s / raw_s - 1.0 if raw_s > 0 else 0.0
+    _TIMINGS["resilience_overhead"] = {
+        "disabled_median_s": raw_s,
+        "enabled_median_s": res_s,
+        "overhead_fraction": overhead,
+    }
+    assert res_s <= raw_s * 1.05 + 0.002, (
+        f"resilience layer costs {overhead:.1%} on the no-fault path"
+    )
 
 
 def test_cache_lookup_overhead(fresh_registry):

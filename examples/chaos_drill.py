@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Chaos drill tour: fault injection, the breaker arc, graceful degradation.
+
+Runs the planner service in-process under a seeded fault plan and walks the
+resilience layer end to end:
+
+1. a clean request — full-fidelity parallel Monte-Carlo, ``degraded: false``;
+2. a worker-failure storm — the MC rung fails, the circuit breaker opens,
+   and the degradation ladder answers from reduced serial MC instead;
+3. a request while the breaker is open — rejected in microseconds (no
+   backend call at all), still answered, still marked degraded;
+4. breaker recovery — after the open window a half-open probe runs, the
+   backend is healthy again, and responses return to full fidelity;
+5. an expired deadline — the ladder skips straight to the Theorem 1 series
+   (an exact analytic answer: late beats never).
+
+Every step ends in an ``assert``; the CI ``chaos`` job runs this verbatim.
+
+Run:  python examples/chaos_drill.py
+"""
+
+import time
+
+from repro import observability as obs
+from repro.resilience import FaultPlan, FaultRule, faults
+from repro.service.planner import PlannerService, ResilienceOptions
+from repro.service.pool import ThreadBackend
+
+obs.enable()
+
+REQUEST = {
+    "distribution": {"law": "lognormal", "params": {"mu": 3.0, "sigma": 0.5}},
+    "strategy": "mean_by_mean",
+    "n_samples": 4000,
+    "seed": 0,
+}
+
+
+def stamp(tag, response):
+    stats = response.get("statistics") or response["evaluation"]
+    print(f"{tag:<22} evaluator={response['evaluator']:<18} "
+          f"degraded={response['degraded']!s:<5} "
+          f"E[cost]={stats['expected_cost']:.2f}")
+
+
+backend = ThreadBackend(2)
+service = PlannerService(
+    backend=backend,
+    resilience=ResilienceOptions(
+        mc_task_timeout_s=1.0,
+        mc_task_retries=0,
+        breaker_failure_threshold=1,
+        breaker_recovery_s=1.0,
+    ),
+)
+
+try:
+    # 1. No faults: full-fidelity parallel MC.
+    clean = service.plan(REQUEST)
+    assert not clean["degraded"] and clean["evaluator"] == "mc"
+    stamp("clean", clean)
+
+    # 2. Worker storm: every pool task raises -> rung 1 fails -> the
+    #    breaker opens -> the ladder falls back to reduced serial MC.
+    storm = FaultPlan([FaultRule(site="pool.worker", mode="error")], seed=7)
+    with faults.installed(storm):
+        stormy = service.evaluate({**REQUEST, "seed": 1})
+    assert stormy["degraded"] and stormy["evaluator"] == "mc_serial_reduced"
+    assert service.breaker.state == "open"
+    stamp("worker storm", stormy)
+
+    # 3. Faults are gone but the breaker is still open: the MC rung is
+    #    rejected without touching the backend, the answer still arrives.
+    shorted = service.evaluate({**REQUEST, "seed": 2})
+    assert shorted["degraded"]
+    assert "CircuitOpen" in shorted["attempts"][0]["error"]
+    stamp("breaker open", shorted)
+
+    # 4. After the recovery window a half-open probe runs and succeeds:
+    #    the breaker closes and fidelity is fully restored.
+    time.sleep(1.1)
+    recovered = service.evaluate({**REQUEST, "seed": 3})
+    assert not recovered["degraded"] and recovered["evaluator"] == "mc"
+    assert service.breaker.state == "closed"
+    stamp("recovered", recovered)
+
+    # 5. A zero deadline: intermediate rungs are skipped, the final rung
+    #    (Theorem 1 series — exact, cheap) still answers.
+    hurried = PlannerService(
+        resilience=ResilienceOptions(request_deadline_s=0.0)
+    ).evaluate(REQUEST)
+    assert hurried["degraded"] and hurried["evaluator"] == "series"
+    assert hurried["evaluation"]["std_error"] is None  # analytic answer
+    stamp("expired deadline", hurried)
+
+    arc = service.breaker.stats()
+    assert arc["opened"] >= 1 and arc["half_opens"] >= 1 and arc["closes"] >= 1
+    print(f"\nbreaker arc: opened={arc['opened']} "
+          f"half_opens={arc['half_opens']} closes={arc['closes']} "
+          f"rejections={arc['rejections']}")
+    print("All chaos drill checks passed.")
+finally:
+    backend.close()

@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""CI driver for the `service` job: boot ``repro-serve`` as a real
-subprocess on an ephemeral port, exercise the plan → evaluate → metrics
-round trip, assert the second identical plan request was answered from the
-cache (the ``plancache.hits`` counter is the proof), then SIGTERM and check
-the graceful shutdown wrote the cache snapshot.
+"""CI driver for the `service` and `chaos` jobs: boot ``repro-serve`` as a
+real subprocess on an ephemeral port and drive it over HTTP.
 
-Usage:  python scripts/ci_service_roundtrip.py [repro-serve args...]
+Default mode (the `service` job) exercises the plan → evaluate → metrics
+round trip, asserts the second identical plan request was answered from the
+cache (the ``plancache.hits`` counter is the proof), then SIGTERMs and
+checks the graceful shutdown wrote the cache snapshot.
+
+``--chaos`` (the `chaos` job) boots the server under the canned
+``scripts/chaos_plan.json`` fault drill — a deterministic burst that opens
+the circuit breaker, a steady 35% pool-worker failure rate, and one hung
+Monte-Carlo chunk — and asserts the resilience contract: every request is
+still answered, degraded answers are marked as such, and the breaker's
+open → half-open arc is visible in ``/metrics``.
+
+Usage:  python scripts/ci_service_roundtrip.py [--chaos] [repro-serve args...]
 Exit status is 0 iff every step passed.
 """
 
@@ -15,13 +24,17 @@ import signal
 import subprocess
 import sys
 import tempfile
+import time
 
 from repro.service.client import ServiceClient
 
 PARAMS = {"mu": 3.0, "sigma": 0.5}
+CHAOS_PLAN = os.path.join(os.path.dirname(__file__), "chaos_plan.json")
+
+BREAKER_RECOVERY_S = 2.0
 
 
-def main() -> int:
+def boot(extra_args, env=None):
     snap = os.path.join(tempfile.mkdtemp(prefix="repro-serve-ci-"), "snap.json")
     proc = subprocess.Popen(
         [
@@ -30,25 +43,38 @@ def main() -> int:
             "--backend", "thread", "--jobs", "2",
             "--n-samples", "1000",
             "--snapshot-out", snap,
-            *sys.argv[1:],
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
+        env=env,
     )
-    try:
-        match = None
-        for _ in range(20):  # skip interpreter noise before the banner
-            line = proc.stdout.readline()
-            if not line:
-                break
-            match = re.search(r"http://[\d.]+:(\d+)", line)
-            if match:
-                break
-        assert match, "repro-serve never printed its listening line"
-        port = int(match.group(1))
-        print(f"repro-serve up on port {port}")
+    match = None
+    for _ in range(20):  # skip interpreter noise before the banner
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            break
+    assert match, "repro-serve never printed its listening line"
+    return proc, snap, int(match.group(1))
 
+
+def shutdown(proc, snap):
+    proc.send_signal(signal.SIGTERM)
+    code = proc.wait(timeout=30)
+    print(proc.stdout.read(), end="")
+    assert code == 0, f"repro-serve exited with {code}"
+    assert os.path.exists(snap), "graceful shutdown did not write the snapshot"
+    print("graceful shutdown + snapshot ok")
+
+
+def roundtrip(extra_args):
+    proc, snap, port = boot(extra_args)
+    try:
+        print(f"repro-serve up on port {port}")
         client = ServiceClient(f"http://127.0.0.1:{port}")
         assert client.healthz()["status"] == "ok"
 
@@ -67,14 +93,80 @@ def main() -> int:
         assert counters["plancache.hits"] >= 2, counters
         print(f"round trip ok (plancache.hits={counters['plancache.hits']})")
     finally:
-        proc.send_signal(signal.SIGTERM)
-        code = proc.wait(timeout=30)
-        print(proc.stdout.read(), end="")
-
-    assert code == 0, f"repro-serve exited with {code}"
-    assert os.path.exists(snap), "graceful shutdown did not write the snapshot"
-    print("graceful shutdown + snapshot ok")
+        shutdown(proc, snap)
     return 0
+
+
+def chaos(extra_args):
+    env = dict(os.environ)
+    env["REPRO_FAULTS"] = CHAOS_PLAN
+    proc, snap, port = boot(
+        [
+            "--mc-task-timeout", "1.0",
+            "--mc-task-retries", "2",
+            "--breaker-threshold", "2",
+            "--breaker-recovery", str(BREAKER_RECOVERY_S),
+            *extra_args,
+        ],
+        env=env,
+    )
+    try:
+        print(f"repro-serve up on port {port} (chaos plan: {CHAOS_PLAN})")
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60)
+
+        # Distinct plan requests (different sigma => different cache keys):
+        # under the drill every one must still be answered.
+        responses = []
+        for i in range(6):
+            params = {"mu": 3.0, "sigma": 0.4 + 0.05 * i}
+            resp = client.plan("lognormal", params, n_samples=2000)
+            for field in ("degraded", "evaluator", "attempts"):
+                assert field in resp, f"response missing {field!r}: {sorted(resp)}"
+            responses.append(resp)
+            print(
+                f"  plan[{i}] evaluator={resp['evaluator']:<18} "
+                f"degraded={resp['degraded']}"
+            )
+
+        degraded = [r for r in responses if r["degraded"]]
+        assert degraded, "the burst rule must degrade at least one response"
+        assert all(
+            r["statistics"]["expected_cost"] > 0 for r in responses
+        ), "every answer must still be a usable cost estimate"
+
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters.get("resilience.faults_injected", 0) > 0, counters
+        assert counters.get("resilience.breaker.opened", 0) >= 1, counters
+        assert counters.get("resilience.degraded_responses", 0) >= 1, counters
+        print(
+            f"breaker opened {counters['resilience.breaker.opened']}x, "
+            f"{counters['resilience.faults_injected']} faults injected, "
+            f"{counters['resilience.degraded_responses']} degraded responses"
+        )
+
+        # Let the breaker recover, then trigger its half-open probe.
+        time.sleep(BREAKER_RECOVERY_S + 0.5)
+        client.plan("lognormal", {"mu": 2.5, "sigma": 0.5}, n_samples=2000)
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters.get("resilience.breaker.half_opens", 0) >= 1, counters
+        print(
+            f"breaker half-opened {counters['resilience.breaker.half_opens']}x "
+            "after recovery"
+        )
+
+        health = client.healthz()
+        assert health["resilience"]["faults"]["total_triggered"] > 0
+        print("chaos drill ok: every request answered under fault injection")
+    finally:
+        shutdown(proc, snap)
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "--chaos":
+        return chaos(args[1:])
+    return roundtrip(args)
 
 
 if __name__ == "__main__":

@@ -72,7 +72,7 @@ class LockDisciplineRule(Rule):
     rule_id = "RS104"
     summary = "attribute mutation of a lock-owning object outside its lock"
 
-    SCOPE = ("service", "observability")
+    SCOPE = ("service", "observability", "resilience")
 
     def applies_to(self, source: SourceFile) -> bool:
         return contains_parts(source.parts, self.SCOPE)

@@ -71,6 +71,25 @@ POOL_RETRIES = "pool.retries"
 POOL_TIMEOUTS = "pool.timeouts"
 POOL_FAILURES = "pool.failures"
 
+# -- resilience layer ----------------------------------------------------
+RESILIENCE_FAULTS_INJECTED = "resilience.faults_injected"
+RESILIENCE_RETRIES = "resilience.retries"
+RESILIENCE_RETRY_EXHAUSTED = "resilience.retry_exhausted"
+RESILIENCE_DEADLINE_EXPIRED = "resilience.deadline_expired"
+RESILIENCE_FALLBACKS = "resilience.fallbacks"
+RESILIENCE_DEGRADED = "resilience.degraded_responses"
+RESILIENCE_BREAKER_STATE = "resilience.breaker.state"
+RESILIENCE_BREAKER_OPENED = "resilience.breaker.opened"
+RESILIENCE_BREAKER_HALF_OPENS = "resilience.breaker.half_opens"
+RESILIENCE_BREAKER_CLOSES = "resilience.breaker.closes"
+RESILIENCE_BREAKER_REJECTIONS = "resilience.breaker.rejections"
+#: Static prefixes of the per-site / per-evaluator counter families
+#: (DYNAMIC_PREFIXES entries); full names are built as
+#: f"{RESILIENCE_FAULT_PREFIX}{site}" and
+#: f"{RESILIENCE_EVALUATOR_PREFIX}{evaluator}".
+RESILIENCE_FAULT_PREFIX = "resilience.fault."
+RESILIENCE_EVALUATOR_PREFIX = "resilience.evaluator."
+
 # -- planner service + HTTP front end ------------------------------------
 SERVICE_PLAN_REQUESTS = "service.plan_requests"
 SERVICE_PLAN = "service.plan"
@@ -88,9 +107,11 @@ SERVER_RESPONSES_PREFIX = "server.responses."
 #: Families whose full names are built at runtime.  A literal or f-string
 #: starting with one of these prefixes is canonical by construction.
 DYNAMIC_PREFIXES = (
-    "server.responses.",  # one counter per HTTP status code
-    "strategy.created.",  # one counter per strategy key
-    "profile.",           # one timer per @profiled function
+    "server.responses.",       # one counter per HTTP status code
+    "strategy.created.",       # one counter per strategy key
+    "profile.",                # one timer per @profiled function
+    "resilience.fault.",       # one counter per fault-injection site
+    "resilience.evaluator.",   # one counter per degradation-ladder rung
 )
 
 

@@ -1,0 +1,100 @@
+"""Graceful degradation: run a ladder of evaluators, cheapest last.
+
+A ladder is an ordered list of ``(name, thunk)`` rungs.  :func:`run_ladder`
+tries them top to bottom and returns the first success together with a
+:class:`LadderReport` describing every attempt — which is what the planner
+stamps into its responses as ``degraded`` / ``evaluator`` / ``attempts``.
+
+Semantics:
+
+* a rung that raises is recorded (type + message) and the next rung runs;
+* once the optional :class:`~repro.resilience.policies.Deadline` expires,
+  intermediate rungs are *skipped* — only the final rung (by construction
+  the cheapest, e.g. the Theorem 1 series) still runs, because a late
+  answer beats no answer;
+* if every rung fails, :class:`LadderExhausted` carries the full attempt
+  log (and chains the last error).
+
+Metrics: each fallback step counts ``resilience.fallbacks``, a non-first
+success counts ``resilience.degraded_responses``, and the winning rung
+counts ``resilience.evaluator.<name>`` (a declared dynamic family).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.observability import metrics
+from repro.observability import names
+from repro.resilience.policies import Deadline
+
+__all__ = ["LadderExhausted", "LadderReport", "run_ladder"]
+
+Rung = Tuple[str, Callable[[], object]]
+
+
+class LadderExhausted(RuntimeError):
+    """Every rung of a degradation ladder failed."""
+
+    def __init__(self, attempts: List[dict]):
+        tried = ", ".join(a["evaluator"] for a in attempts)
+        super().__init__(f"all evaluators failed (tried: {tried})")
+        self.attempts = attempts
+
+
+@dataclass
+class LadderReport:
+    """How a ladder run went; serialized into service responses."""
+
+    evaluator: str
+    degraded: bool
+    attempts: List[dict] = field(default_factory=list)
+
+    def to_fields(self) -> dict:
+        return {
+            "degraded": self.degraded,
+            "evaluator": self.evaluator,
+            "attempts": list(self.attempts),
+        }
+
+
+def run_ladder(
+    rungs: Sequence[Rung],
+    deadline: Optional[Deadline] = None,
+) -> Tuple[object, LadderReport]:
+    """Run ``rungs`` in order; return ``(value, report)`` of the first success."""
+    if not rungs:
+        raise ValueError("a degradation ladder needs at least one rung")
+    attempts: List[dict] = []
+    last = len(rungs) - 1
+    failure: Optional[BaseException] = None
+    for index, (name, thunk) in enumerate(rungs):
+        if index != last and deadline is not None and deadline.expired():
+            attempts.append(
+                {"evaluator": name, "outcome": "skipped", "error": "deadline expired"}
+            )
+            metrics.inc(names.RESILIENCE_DEADLINE_EXPIRED)
+            continue
+        try:
+            value = thunk()
+        except Exception as exc:
+            failure = exc
+            attempts.append(
+                {
+                    "evaluator": name,
+                    "outcome": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            metrics.inc(names.RESILIENCE_FALLBACKS)
+            continue
+        attempts.append({"evaluator": name, "outcome": "ok"})
+        metrics.inc(f"{names.RESILIENCE_EVALUATOR_PREFIX}{name}")
+        degraded = index > 0
+        if degraded:
+            metrics.inc(names.RESILIENCE_DEGRADED)
+        return value, LadderReport(
+            evaluator=name, degraded=degraded, attempts=attempts
+        )
+    raise LadderExhausted(attempts) from failure

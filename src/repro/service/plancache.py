@@ -17,12 +17,18 @@ once instead of once per waiter (different keys still compute in parallel).
 
 Snapshots (:meth:`PlanCache.save` / :meth:`PlanCache.load`) persist entries
 with their creation timestamps, so a restarted server warm-starts with the
-same keys and remaining TTLs.
+same keys and remaining TTLs.  Writes are crash-safe: the document goes to
+a temporary file in the destination directory and is atomically
+``os.replace``-d over the target, so a SIGTERM (or an injected
+``plancache.save`` fault) mid-write can never corrupt the previous
+snapshot.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
 import time
 from collections import OrderedDict
@@ -30,6 +36,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.observability import metrics
 from repro.observability import names
+from repro.resilience import faults
 
 __all__ = ["PlanCache", "SNAPSHOT_VERSION"]
 
@@ -144,7 +151,13 @@ class PlanCache:
     # Warm-start snapshot
     # ------------------------------------------------------------------
     def save(self, path: str) -> int:
-        """Write every live entry (LRU order) as JSON; returns the count."""
+        """Write every live entry (LRU order) as JSON; returns the count.
+
+        The write is crash-safe: everything lands in a same-directory temp
+        file first and only a successful, flushed write is atomically
+        renamed over ``path`` — an interrupted save leaves the previous
+        snapshot byte-identical.
+        """
         with self._lock:
             entries = [
                 {"key": key, "created_at": created_at, "payload": payload}
@@ -158,9 +171,27 @@ class PlanCache:
             "ttl": self.ttl,
             "entries": entries,
         }
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=2)
-            fh.write("\n")
+        target = os.path.abspath(path)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(target) + ".", suffix=".tmp",
+            dir=os.path.dirname(target),
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+                # The fault site sits between write and rename — exactly
+                # where a crash would historically have truncated the file.
+                faults.fire("plancache.save")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         metrics.inc(names.PLANCACHE_SNAPSHOTS_SAVED)
         return len(entries)
 
@@ -171,6 +202,7 @@ class PlanCache:
         the restart; expired or malformed entries are skipped, and a version
         mismatch loads nothing (the key schema may have changed).
         """
+        faults.fire("plancache.load")
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
         if not isinstance(doc, dict) or doc.get("version") != SNAPSHOT_VERSION:

@@ -23,33 +23,85 @@ list is costed against a fresh Monte-Carlo sample set (optionally through
 the parallel pool).  Samples beyond the plan's coverage horizon are served
 by a doubling tail extension — by construction less than ``1 - coverage``
 of the probability mass.
+
+**Graceful degradation** (see ``docs/RESILIENCE.md``): the Monte-Carlo
+evaluation runs through a fallback ladder — parallel MC on the configured
+backend, then serial MC with fewer samples, then the Eq. 3 quadrature,
+then the Theorem 1 series — stepping down when the backend's circuit
+breaker is open, a rung fails, or the request deadline shrinks.  Every
+response is stamped with ``degraded`` / ``evaluator`` / ``attempts`` so
+callers (and the chaos CI job) can tell a full-fidelity answer from a
+bounded-degraded one.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.cost import CostModel
+from repro.core.expectation import expected_cost_direct, expected_cost_series
 from repro.core.sequence import ReservationSequence
 from repro.distributions.registry import DISTRIBUTION_FACTORIES, make_distribution
 from repro.observability import metrics
 from repro.observability import names
+from repro.resilience import faults
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.degradation import LadderReport, run_ladder
+from repro.resilience.policies import Deadline
 from repro.service.keys import plan_key
 from repro.service.plancache import PlanCache
 from repro.service.pool import ExecutionBackend, SerialBackend, get_backend
 from repro.simulation.monte_carlo import monte_carlo_expected_cost
 from repro.strategies.registry import PAPER_STRATEGY_ORDER, make_strategy
 
-__all__ = ["ServiceError", "PlannerService", "PAYLOAD_VERSION"]
+__all__ = [
+    "ServiceError",
+    "ResilienceOptions",
+    "PlannerService",
+    "PAYLOAD_VERSION",
+]
 
 PAYLOAD_VERSION = 1
 
 DEFAULT_COVERAGE = 0.999
 DEFAULT_N_SAMPLES = 5000
 MAX_N_SAMPLES = 2_000_000
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Knobs for the planner's degradation ladder and backend breaker.
+
+    The defaults keep the no-failure path bit-identical to the raw
+    planner: no deadline, a generous per-chunk timeout that only matters
+    when a chunk hangs, and retries that only run after a failure.
+    ``ResilienceOptions.disabled()`` removes the ladder entirely (used by
+    the overhead benchmark as the raw-path baseline).
+    """
+
+    enabled: bool = True
+    #: Wall-clock budget per request; ``None`` = unbounded.
+    request_deadline_s: Optional[float] = None
+    #: Per-attempt timeout for one parallel MC chunk (ignored by the
+    #: serial backend, which cannot be interrupted).
+    mc_task_timeout_s: Optional[float] = 10.0
+    #: Resubmissions per failed/hung MC chunk before the rung fails.
+    mc_task_retries: int = 2
+    #: Consecutive rung-1 failures before the breaker opens.
+    breaker_failure_threshold: int = 3
+    #: Seconds the breaker stays open before half-opening a probe.
+    breaker_recovery_s: float = 5.0
+    #: Degraded serial MC uses ``max(min, fraction * n_samples)`` samples.
+    degraded_fraction: float = 0.25
+    degraded_min_samples: int = 500
+
+    @classmethod
+    def disabled(cls) -> "ResilienceOptions":
+        return cls(enabled=False)
 
 
 class ServiceError(ValueError):
@@ -151,6 +203,33 @@ def _doubling_tail(values: np.ndarray) -> float:
     return float(values[-1]) * 2.0
 
 
+def _stats_from_mc(mc, seed: int) -> dict:
+    """Statistics block for a Monte-Carlo rung (full or reduced)."""
+    return {
+        "expected_cost": mc.mean_cost,
+        "std_error": mc.std_error,
+        "n_samples": mc.n_samples,
+        "seed": seed,
+        "max_reservations_hit": mc.max_reservations_hit,
+    }
+
+
+def _stats_from_scalar(value: float) -> dict:
+    """Statistics block for an analytic rung (quadrature / series).
+
+    The sampling-specific fields are ``None`` — the analytic evaluators
+    are exact up to their tail tolerance, so there is no standard error,
+    sample count, or seed to report.
+    """
+    return {
+        "expected_cost": float(value),
+        "std_error": None,
+        "n_samples": None,
+        "seed": None,
+        "max_reservations_hit": None,
+    }
+
+
 class PlannerService:
     """Long-lived planning service: cache + execution backend + planner."""
 
@@ -160,11 +239,22 @@ class PlannerService:
         backend: Optional[ExecutionBackend] = None,
         n_samples: int = DEFAULT_N_SAMPLES,
         seed: int = 0,
+        resilience: Optional[ResilienceOptions] = None,
     ):
         self.cache = cache if cache is not None else PlanCache()
         self.backend = backend if backend is not None else SerialBackend()
         self.default_n_samples = int(n_samples)
         self.default_seed = int(seed)
+        self.resilience = resilience if resilience is not None else ResilienceOptions()
+        self.breaker: Optional[CircuitBreaker] = (
+            CircuitBreaker(
+                failure_threshold=self.resilience.breaker_failure_threshold,
+                recovery_time=self.resilience.breaker_recovery_s,
+                name="mc-backend",
+            )
+            if self.resilience.enabled
+            else None
+        )
         self.started_at = time.time()
 
     @classmethod
@@ -176,12 +266,101 @@ class PlannerService:
         jobs: int = 1,
         n_samples: int = DEFAULT_N_SAMPLES,
         seed: int = 0,
+        resilience: Optional[ResilienceOptions] = None,
     ) -> "PlannerService":
         return cls(
             cache=PlanCache(maxsize=cache_size, ttl=ttl),
             backend=get_backend(backend, jobs),
             n_samples=n_samples,
             seed=seed,
+            resilience=resilience,
+        )
+
+    # ------------------------------------------------------------------
+    # Degradation ladder
+    # ------------------------------------------------------------------
+    def _request_deadline(self) -> Optional[Deadline]:
+        opts = self.resilience
+        if not opts.enabled or opts.request_deadline_s is None:
+            return None
+        return Deadline(opts.request_deadline_s)
+
+    def _mc_stats(
+        self,
+        sequence: ReservationSequence,
+        distribution,
+        cost_model: CostModel,
+        n_samples: int,
+        seed: int,
+        deadline: Optional[Deadline] = None,
+    ) -> Tuple[dict, LadderReport]:
+        """Expected-cost statistics through the degradation ladder.
+
+        Rung 1 is the exact historical evaluation — same arguments, same
+        backend — so with no faults and a serial backend the numbers are
+        bit-identical to the pre-ladder planner.  The later rungs trade
+        fidelity for availability: reduced serial MC, then the Eq. 3
+        quadrature, then the Theorem 1 series (always attempted, even past
+        the deadline, because a late answer beats none).
+        """
+        opts = self.resilience
+
+        def full_mc() -> dict:
+            mc = monte_carlo_expected_cost(
+                sequence,
+                distribution,
+                cost_model,
+                n_samples=n_samples,
+                seed=seed,
+                backend=self.backend,
+                task_timeout=opts.mc_task_timeout_s if opts.enabled else None,
+                task_retries=opts.mc_task_retries if opts.enabled else 0,
+            )
+            return _stats_from_mc(mc, seed)
+
+        if not opts.enabled:
+            return full_mc(), LadderReport(
+                evaluator="mc",
+                degraded=False,
+                attempts=[{"evaluator": "mc", "outcome": "ok"}],
+            )
+
+        def guarded_mc() -> dict:
+            assert self.breaker is not None
+            return self.breaker.call(full_mc)
+
+        def serial_reduced() -> dict:
+            n_reduced = min(
+                n_samples,
+                max(
+                    opts.degraded_min_samples,
+                    int(n_samples * opts.degraded_fraction),
+                ),
+            )
+            mc = monte_carlo_expected_cost(
+                sequence, distribution, cost_model,
+                n_samples=n_reduced, seed=seed,
+            )
+            return _stats_from_mc(mc, seed)
+
+        def quadrature() -> dict:
+            return _stats_from_scalar(
+                expected_cost_direct(sequence, distribution, cost_model)
+            )
+
+        def series() -> dict:
+            return _stats_from_scalar(
+                expected_cost_series(sequence, distribution, cost_model)
+            )
+
+        return run_ladder(
+            [
+                ("mc", guarded_mc),
+                ("mc_serial_reduced", serial_reduced),
+                ("quadrature", quadrature),
+                ("series", series),
+            ],
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -208,10 +387,12 @@ class PlannerService:
             coverage=coverage,
         )
 
+        deadline = self._request_deadline()
+
         def compute() -> dict:
             return self._compute_plan(
                 key, distribution, cost_model, strategy_name, knobs, coverage,
-                n_samples, seed,
+                n_samples, seed, deadline,
             )
 
         with metrics.timer(names.SERVICE_PLAN):
@@ -222,7 +403,7 @@ class PlannerService:
 
     def _compute_plan(
         self, key, distribution, cost_model, strategy_name, knobs, coverage,
-        n_samples, seed,
+        n_samples, seed, deadline=None,
     ) -> dict:
         try:
             strategy = make_strategy(strategy_name, **knobs)
@@ -232,15 +413,19 @@ class PlannerService:
             sequence = strategy.sequence(distribution, cost_model)
             sequence.ensure_covers(float(distribution.quantile(coverage)))
             reservations = [float(v) for v in sequence.values]
-            mc = monte_carlo_expected_cost(
-                sequence,
-                distribution,
-                cost_model,
-                n_samples=n_samples,
-                seed=seed,
-                backend=self.backend,
+            stats, report = self._mc_stats(
+                sequence, distribution, cost_model, n_samples, seed, deadline
             )
         omniscient = cost_model.omniscient_expected_cost(distribution)
+        stats = {
+            "expected_cost": stats["expected_cost"],
+            "std_error": stats["std_error"],
+            "omniscient_cost": omniscient,
+            "normalized_cost": stats["expected_cost"] / omniscient,
+            "n_samples": stats["n_samples"],
+            "seed": stats["seed"],
+            "max_reservations_hit": stats["max_reservations_hit"],
+        }
         return {
             "version": PAYLOAD_VERSION,
             "key": key,
@@ -259,16 +444,11 @@ class PlannerService:
                     "gamma": cost_model.gamma,
                 },
             },
-            "statistics": {
-                "expected_cost": mc.mean_cost,
-                "std_error": mc.std_error,
-                "omniscient_cost": omniscient,
-                "normalized_cost": mc.mean_cost / omniscient,
-                "n_samples": mc.n_samples,
-                "seed": seed,
-                "max_reservations_hit": mc.max_reservations_hit,
-            },
+            "statistics": stats,
             "computed_at": time.time(),
+            # Resilience stamp: how this payload's statistics were obtained
+            # (cache hits return the stamp of the original computation).
+            **report.to_fields(),
         }
 
     # ------------------------------------------------------------------
@@ -292,47 +472,57 @@ class PlannerService:
         sequence = ReservationSequence(
             values, extend=_doubling_tail, name=plan_response["plan"]["strategy"]
         )
+        deadline = self._request_deadline()
         with metrics.timer(names.SERVICE_EVALUATE):
-            mc = monte_carlo_expected_cost(
-                sequence,
-                distribution,
-                cost_model,
-                n_samples=n_samples,
-                seed=seed,
-                backend=self.backend,
+            stats, report = self._mc_stats(
+                sequence, distribution, cost_model, n_samples, seed, deadline
             )
-        lo, hi = mc.confidence_interval()
+        if stats["std_error"] is not None:
+            half = 1.96 * stats["std_error"]
+            ci95 = [stats["expected_cost"] - half, stats["expected_cost"] + half]
+        else:
+            ci95 = None
         omniscient = cost_model.omniscient_expected_cost(distribution)
         return {
             "version": PAYLOAD_VERSION,
             "key": plan_response["key"],
             "cached": plan_response["cached"],
             "evaluation": {
-                "expected_cost": mc.mean_cost,
-                "std_error": mc.std_error,
-                "ci95": [lo, hi],
+                "expected_cost": stats["expected_cost"],
+                "std_error": stats["std_error"],
+                "ci95": ci95,
                 "omniscient_cost": omniscient,
-                "normalized_cost": mc.mean_cost / omniscient,
-                "n_samples": mc.n_samples,
-                "seed": seed,
-                "max_reservations_hit": mc.max_reservations_hit,
+                "normalized_cost": stats["expected_cost"] / omniscient,
+                "n_samples": stats["n_samples"],
+                "seed": stats["seed"],
+                "max_reservations_hit": stats["max_reservations_hit"],
             },
+            # Stamp for *this* evaluation run (the plan payload carries its
+            # own stamp from when it was computed).
+            **report.to_fields(),
         }
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, object]:
+        fault_plan = faults.get_plan()
         return {
             "status": "ok",
             "uptime_s": time.time() - self.started_at,
             "backend": self.backend.kind,
             "cache": self.cache.stats(),
+            "resilience": {
+                "enabled": self.resilience.enabled,
+                "breaker": self.breaker.stats() if self.breaker is not None else None,
+                "faults": fault_plan.stats() if fault_plan is not None else None,
+            },
         }
 
     def metrics_payload(self) -> Dict[str, object]:
         return {
             "metrics": metrics.get_registry().to_dict(),
             "cache": self.cache.stats(),
+            "breaker": self.breaker.stats() if self.breaker is not None else None,
             "uptime_s": time.time() - self.started_at,
         }

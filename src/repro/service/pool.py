@@ -12,13 +12,20 @@ interface::
 Design choices:
 
 * ``map`` preserves input order and is strict: a task that still fails
-  after ``retries`` resubmissions raises :class:`PoolError` (partial
-  results are never silently dropped).
+  after its retry budget raises :class:`PoolError` (partial results are
+  never silently dropped).  Retries are governed by a
+  :class:`repro.resilience.policies.RetryPolicy` — the plain ``retries=N``
+  form maps to ``RetryPolicy.immediate(N)``, the historical zero-backoff
+  behavior; pass ``retry_policy=`` for jittered exponential backoff, and
+  ``deadline=`` to bound the whole map under one wall-clock budget.
 * ``timeout`` is per task attempt.  Thread workers cannot be interrupted
   mid-flight, so a timed-out attempt may keep running in the background
   while its retry proceeds — acceptable for the pure compute tasks used
   here, and the reason the default backend for in-process work is threads
   (numpy releases the GIL in the vectorized kernels).
+* every task attempt passes through the ``pool.worker`` fault-injection
+  site (:mod:`repro.resilience.faults`), so chaos drills can make any
+  fraction of workers raise or hang without touching this module.
 * The process backend requires picklable functions and arguments
   (module-level functions; reservation sequences holding extender closures
   are *not* picklable — sample/extend first, then ship arrays).
@@ -39,6 +46,8 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.observability import metrics
 from repro.observability import names
+from repro.resilience import faults
+from repro.resilience.policies import Deadline, DeadlineExceeded, RetryPolicy
 
 __all__ = [
     "PoolError",
@@ -76,6 +85,22 @@ def chunk_sizes(n_items: int, n_chunks: int) -> List[int]:
     return [base + (1 if i < rem else 0) for i in range(n_chunks)]
 
 
+def _run_task(fn: Callable[[T], R], item: T) -> R:
+    """One task attempt, routed through the ``pool.worker`` fault site.
+
+    Module-level so the process backend can pickle it; child processes
+    pick chaos drills up through the inherited ``REPRO_FAULTS`` variable.
+    """
+    faults.fire("pool.worker")
+    return fn(item)
+
+
+def _resolve_policy(retries: int, retry_policy: Optional[RetryPolicy]) -> RetryPolicy:
+    if retry_policy is not None:
+        return retry_policy
+    return RetryPolicy.immediate(retries)
+
+
 class ExecutionBackend(abc.ABC):
     """Ordered fan-out of a function over a sequence of items."""
 
@@ -89,6 +114,8 @@ class ExecutionBackend(abc.ABC):
         items: Sequence[T],
         timeout: Optional[float] = None,
         retries: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[R]:
         """Apply ``fn`` to every item, returning results in input order."""
 
@@ -115,24 +142,29 @@ class SerialBackend(ExecutionBackend):
 
     kind = "serial"
 
-    def map(self, fn, items, timeout=None, retries=0):
+    def map(self, fn, items, timeout=None, retries=0, retry_policy=None,
+            deadline=None):
+        policy = _resolve_policy(retries, retry_policy)
         results = []
         with metrics.timer(names.POOL_MAP):
             for item in items:
                 metrics.inc(names.POOL_TASKS)
                 attempt = 0
                 while True:
+                    if deadline is not None:
+                        deadline.require("pool.map")
+                    attempt += 1
                     try:
-                        results.append(fn(item))
+                        results.append(_run_task(fn, item))
                         break
                     except Exception as exc:
-                        attempt += 1
-                        if attempt > retries:
+                        if not policy.should_retry(attempt, exc, deadline):
                             metrics.inc(names.POOL_FAILURES)
                             raise PoolError(
                                 f"task failed after {attempt} attempt(s): {exc}"
                             ) from exc
                         metrics.inc(names.POOL_RETRIES)
+                        policy.backoff(attempt, deadline)
         return results
 
 
@@ -143,23 +175,30 @@ class _ExecutorBackend(ExecutionBackend):
         self._executor = executor
         self.jobs = jobs
 
-    def map(self, fn, items, timeout=None, retries=0):
+    def map(self, fn, items, timeout=None, retries=0, retry_policy=None,
+            deadline=None):
+        policy = _resolve_policy(retries, retry_policy)
         items = list(items)
-        futures = [self._executor.submit(fn, item) for item in items]
+        futures = [self._executor.submit(_run_task, fn, item) for item in items]
         metrics.inc(names.POOL_TASKS, len(items))
         results: List = [None] * len(items)
         with metrics.timer(names.POOL_MAP):
             for i, future in enumerate(futures):
                 attempts = 0
                 while True:
+                    wait = timeout if deadline is None else deadline.bound(timeout)
+                    attempts += 1
                     try:
-                        results[i] = future.result(timeout=timeout)
+                        results[i] = future.result(timeout=wait)
                         break
                     except Exception as exc:
                         if isinstance(exc, concurrent.futures.TimeoutError):
                             metrics.inc(names.POOL_TIMEOUTS)
-                        attempts += 1
-                        if attempts > retries:
+                            if deadline is not None and deadline.expired():
+                                exc = DeadlineExceeded(
+                                    f"pool.map deadline expired waiting on task {i}"
+                                )
+                        if not policy.should_retry(attempts, exc, deadline):
                             metrics.inc(names.POOL_FAILURES)
                             for pending in futures[i:]:
                                 pending.cancel()
@@ -168,7 +207,8 @@ class _ExecutorBackend(ExecutionBackend):
                                 f"{exc!r}"
                             ) from exc
                         metrics.inc(names.POOL_RETRIES)
-                        future = self._executor.submit(fn, items[i])
+                        policy.backoff(attempts, deadline)
+                        future = self._executor.submit(_run_task, fn, items[i])
         return results
 
     def close(self) -> None:

@@ -14,9 +14,19 @@ under overload a planner that sheds load stays responsive for the requests
 it does admit.  ``/healthz`` and ``/metrics`` bypass admission so operators
 can always observe an overloaded server.
 
-Graceful shutdown: SIGINT/SIGTERM stop the accept loop, in-flight requests
-finish, and (with ``--snapshot-out``) the plan cache is persisted for the
+Graceful shutdown: SIGINT/SIGTERM stop the accept loop, the listening
+socket closes (new connections are refused), in-flight requests are
+*drained* — an explicit condition-variable barrier, since the handler
+threads are daemons and would otherwise be abandoned mid-response — and
+(with ``--snapshot-out``) the plan cache is persisted exactly once for the
 next boot's ``--warm-start``.
+
+Resilience: every admitted POST passes the ``server.request``
+fault-injection site, and ``--fault-spec`` installs a
+:class:`repro.resilience.faults.FaultPlan` at boot (equivalent to setting
+``REPRO_FAULTS``); the breaker / deadline knobs feed the planner's
+:class:`~repro.service.planner.ResilienceOptions`.  See
+``docs/RESILIENCE.md``.
 
 Built only on ``http.server``/``socketserver`` — no new dependencies.
 """
@@ -28,13 +38,16 @@ import json
 import signal
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Tuple
 
 from repro import observability as obs
 from repro.observability import metrics
 from repro.observability import names
-from repro.service.planner import PlannerService, ServiceError
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan
+from repro.service.planner import PlannerService, ResilienceOptions, ServiceError
 
 __all__ = ["PlanServer", "serve", "main"]
 
@@ -59,12 +72,36 @@ class PlanServer(ThreadingHTTPServer):
         self.service = service
         self.max_inflight = max_inflight
         self._admission = threading.Semaphore(max_inflight)
+        # In-flight request barrier for graceful shutdown: handler threads
+        # are daemons, so server_close() does not join them — drain() is
+        # how main() waits for admitted requests to finish responding.
+        self._drain_cv = threading.Condition()
+        self._inflight = 0
 
     def try_admit(self) -> bool:
-        return self._admission.acquire(blocking=False)
+        admitted = self._admission.acquire(blocking=False)
+        if admitted:
+            with self._drain_cv:
+                self._inflight += 1
+        return admitted
 
     def release(self) -> None:
+        with self._drain_cv:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drain_cv.notify_all()
         self._admission.release()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every admitted request has finished (or timeout)."""
+        limit = time.monotonic() + timeout
+        with self._drain_cv:
+            while self._inflight > 0:
+                remaining = limit - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._drain_cv.wait(remaining)
+            return True
 
     @property
     def port(self) -> int:
@@ -132,6 +169,9 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         try:
+            # Chaos drills can delay, hang, or fail admitted requests here
+            # (an injected error surfaces as a well-formed 500 below).
+            faults.fire("server.request")
             body = self._read_body()
             if self.path == "/plan":
                 self._send_json(200, self.server.service.plan(body))
@@ -211,9 +251,60 @@ def main(argv=None) -> int:
         default=None,
         help="write a plan-cache snapshot on shutdown",
     )
+    parser.add_argument(
+        "--fault-spec",
+        metavar="SPEC",
+        default=None,
+        help="install a fault-injection plan (compact spec, inline JSON, or "
+        "a .json file; same grammar as REPRO_FAULTS — see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--request-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per plan/evaluate computation (default: none)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive MC-backend failures before the breaker opens",
+    )
+    parser.add_argument(
+        "--breaker-recovery",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="seconds the breaker stays open before half-opening a probe",
+    )
+    parser.add_argument(
+        "--mc-task-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-attempt timeout for one parallel Monte-Carlo chunk",
+    )
+    parser.add_argument(
+        "--mc-task-retries",
+        type=int,
+        default=2,
+        help="resubmissions per failed/hung Monte-Carlo chunk",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="max seconds to wait for in-flight requests on shutdown",
+    )
     args = parser.parse_args(argv)
 
     obs.enable()
+    if args.fault_spec:
+        plan = FaultPlan.from_spec(args.fault_spec)
+        faults.install(plan)
+        print(f"Fault plan installed: {plan!r}", file=sys.stderr)
     service = PlannerService.from_options(
         cache_size=args.cache_size,
         ttl=args.ttl,
@@ -221,6 +312,13 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         n_samples=args.n_samples,
         seed=args.seed,
+        resilience=ResilienceOptions(
+            request_deadline_s=args.request_deadline,
+            mc_task_timeout_s=args.mc_task_timeout,
+            mc_task_retries=args.mc_task_retries,
+            breaker_failure_threshold=args.breaker_threshold,
+            breaker_recovery_s=args.breaker_recovery,
+        ),
     )
     if args.warm_start:
         try:
@@ -252,10 +350,19 @@ def main(argv=None) -> int:
     try:
         server.serve_forever(poll_interval=0.2)
     finally:
+        # Ordered shutdown: close the socket first (new connections are
+        # refused), then drain admitted requests, then snapshot — exactly
+        # once, and only after the cache has stopped changing.
         server.server_close()
+        if not server.drain(timeout=args.drain_timeout):
+            print(
+                f"Drain timed out after {args.drain_timeout}s; "
+                "snapshotting anyway",
+                file=sys.stderr,
+            )
         if args.snapshot_out:
             saved = service.cache.save(args.snapshot_out)
-            print(f"Snapshot: {saved} plan(s) to {args.snapshot_out}")
+            print(f"Snapshot: {saved} plan(s) to {args.snapshot_out}", flush=True)
     return 0
 
 

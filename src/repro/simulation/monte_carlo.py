@@ -23,6 +23,7 @@ from repro.core.cost import CostModel
 from repro.core.sequence import ReservationSequence
 from repro.observability import metrics
 from repro.observability.profiling import profiled
+from repro.resilience import faults
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
 
 __all__ = ["MonteCarloResult", "costs_for_times", "monte_carlo_expected_cost"]
@@ -109,7 +110,12 @@ def _chunk_task(args) -> tuple[float, float, int]:
     Module-level so the process backend can pickle it (the sequence itself
     must then be free of extender closures — the parallel driver extends it
     before dispatch, so covering chunks never extend concurrently).
+
+    Tagged as the ``mc.chunk`` fault-injection site: chaos drills can make
+    individual chunks raise or hang without touching the serial kernel,
+    which the degradation ladder keeps as its fallback.
     """
+    faults.fire("mc.chunk")
     sequence, times, cost_model = args
     costs, k = _costs_and_indices(sequence, times, cost_model)
     return float(costs.sum()), float(np.dot(costs, costs)), int(k.max())
@@ -123,6 +129,8 @@ def monte_carlo_expected_cost(
     seed: SeedLike = None,
     jobs: int = 1,
     backend=None,
+    task_timeout: float | None = None,
+    task_retries: int = 0,
 ) -> MonteCarloResult:
     """Estimate ``E(S)`` by averaging over ``n_samples`` sampled jobs (Eq. 13).
 
@@ -135,6 +143,11 @@ def monte_carlo_expected_cost(
     serial path (they agree within the Monte-Carlo confidence interval).
     Sampling and sequence extension stay serial; only the vectorized costing
     kernel (which releases the GIL) fans out.
+
+    ``task_timeout``/``task_retries`` are forwarded to the backend's
+    ``map`` so a hung or faulted chunk (e.g. under a ``REPRO_FAULTS``
+    drill) is bounded and resubmitted instead of stalling the estimate;
+    both default to the historical no-timeout, no-retry behavior.
     """
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
@@ -165,7 +178,12 @@ def monte_carlo_expected_cost(
     # the sequence (ensure_covers on a covering sequence is a no-op).
     sequence.ensure_covers(float(max(c.max() for c in chunks)))
     metrics.inc("mc.parallel_chunks", len(chunks))
-    partials = backend.map(_chunk_task, [(sequence, c, cost_model) for c in chunks])
+    partials = backend.map(
+        _chunk_task,
+        [(sequence, c, cost_model) for c in chunks],
+        timeout=task_timeout,
+        retries=task_retries,
+    )
 
     total = float(sum(p[0] for p in partials))
     total_sq = float(sum(p[1] for p in partials))

@@ -1,0 +1,80 @@
+"""Degradation ladder: fallback order, deadline skipping, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.degradation import LadderExhausted, run_ladder
+from repro.resilience.policies import Deadline
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def boom(message="boom"):
+    raise RuntimeError(message)
+
+
+class TestLadder:
+    def test_first_rung_success_is_not_degraded(self):
+        value, report = run_ladder([("mc", lambda: 42), ("series", lambda: 0)])
+        assert value == 42
+        assert report.evaluator == "mc"
+        assert not report.degraded
+        assert report.attempts == [{"evaluator": "mc", "outcome": "ok"}]
+
+    def test_fallback_on_error_is_degraded(self):
+        value, report = run_ladder(
+            [("mc", lambda: boom("backend down")), ("series", lambda: 7)]
+        )
+        assert value == 7
+        assert report.degraded
+        assert report.evaluator == "series"
+        assert report.attempts[0]["outcome"] == "error"
+        assert "backend down" in report.attempts[0]["error"]
+
+    def test_expired_deadline_skips_to_final_rung(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.now = 5.0  # already expired
+        ran = []
+        value, report = run_ladder(
+            [
+                ("mc", lambda: ran.append("mc") or 1),
+                ("quadrature", lambda: ran.append("quad") or 2),
+                ("series", lambda: ran.append("series") or 3),
+            ],
+            deadline=deadline,
+        )
+        assert ran == ["series"]  # intermediate rungs never execute
+        assert value == 3
+        assert report.degraded
+        assert [a["outcome"] for a in report.attempts] == ["skipped", "skipped", "ok"]
+
+    def test_all_rungs_failing_raises_with_attempt_log(self):
+        with pytest.raises(LadderExhausted) as err:
+            run_ladder([("a", boom), ("b", boom)])
+        assert [a["evaluator"] for a in err.value.attempts] == ["a", "b"]
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            run_ladder([])
+
+    def test_to_fields_shape(self):
+        _, report = run_ladder([("mc", lambda: 1)])
+        fields = report.to_fields()
+        assert set(fields) == {"degraded", "evaluator", "attempts"}
+
+    def test_metrics(self, enabled_obs):
+        reg, _ = enabled_obs
+        run_ladder([("mc", boom), ("series", lambda: 1)])
+        counters = reg.to_dict()["counters"]
+        assert counters["resilience.fallbacks"] == 1
+        assert counters["resilience.degraded_responses"] == 1
+        assert counters["resilience.evaluator.series"] == 1

@@ -1,0 +1,161 @@
+"""Retry/backoff policies and wall-clock deadlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.policies import (
+    Deadline,
+    DeadlineExceeded,
+    RetryBudget,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert deadline.remaining() == pytest.approx(6.0)
+        assert not deadline.expired()
+
+    def test_remaining_never_negative(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+
+    def test_require_raises_after_expiry(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.require("setup")  # fine while time remains
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded, match="setup"):
+            deadline.require("setup")
+
+    def test_bound_clamps_timeouts(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        assert deadline.bound(None) == pytest.approx(5.0)
+        assert deadline.bound(2.0) == pytest.approx(2.0)
+        clock.advance(4.0)
+        assert deadline.bound(2.0) == pytest.approx(1.0)
+
+
+class TestRetryBudget:
+    def test_budget_is_shared_and_bounded(self):
+        budget = RetryBudget(2)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        assert budget.spent == 2
+        assert budget.remaining == 0
+
+
+class TestRetryPolicy:
+    def test_immediate_reproduces_hot_loop(self):
+        slept = []
+        policy = RetryPolicy.immediate(2)
+        policy._sleep = slept.append
+        boom = ValueError("boom")
+        assert policy.should_retry(1, boom)
+        assert policy.should_retry(2, boom)
+        assert not policy.should_retry(3, boom)
+        policy.backoff(1)
+        policy.backoff(2)
+        assert slept == []  # zero base delay: never sleeps
+
+    def test_delay_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, seed=42)
+        delays = [policy.delay(a) for a in (1, 2, 3, 4, 5)]
+        caps = [0.1, 0.2, 0.4, 0.8, 1.0]
+        for delay, cap in zip(delays, caps):
+            assert 0.0 <= delay <= cap
+        replay = RetryPolicy(base_delay=0.1, max_delay=1.0, seed=42)
+        assert delays == [replay.delay(a) for a in (1, 2, 3, 4, 5)]
+
+    def test_unjittered_delay_is_the_cap(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=1.0, jitter=False)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(10) == pytest.approx(1.0)  # capped
+
+    def test_should_retry_respects_retry_on(self):
+        policy = RetryPolicy(max_attempts=5, retry_on=(OSError,))
+        assert policy.should_retry(1, OSError("io"))
+        assert not policy.should_retry(1, ValueError("logic"))
+
+    def test_should_retry_respects_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        policy = RetryPolicy(max_attempts=5)
+        assert policy.should_retry(1, ValueError(), deadline)
+        clock.advance(2.0)
+        assert not policy.should_retry(1, ValueError(), deadline)
+
+    def test_should_retry_respects_shared_budget(self):
+        budget = RetryBudget(1)
+        policy = RetryPolicy(max_attempts=10, budget=budget)
+        assert policy.should_retry(1, ValueError())
+        assert not policy.should_retry(1, ValueError())  # budget drained
+
+    def test_backoff_clamped_by_deadline(self):
+        clock = FakeClock()
+        slept = []
+        policy = RetryPolicy(
+            base_delay=10.0, max_delay=10.0, jitter=False, sleep=slept.append
+        )
+        deadline = Deadline(0.5, clock=clock)
+        policy.backoff(1, deadline)
+        assert slept == [pytest.approx(0.5)]
+
+    def test_sleep_for_honors_server_hint(self):
+        slept = []
+        policy = RetryPolicy(sleep=slept.append)
+        policy.sleep_for(1.25)
+        policy.sleep_for(0.0)  # no sleep call for zero
+        assert slept == [1.25]
+
+    def test_call_retries_until_success(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, jitter=False, sleep=slept.append
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_call_reraises_after_exhaustion(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=False)
+        with pytest.raises(ValueError, match="always"):
+            policy.call(lambda: (_ for _ in ()).throw(ValueError("always")))
+
+    def test_retry_metrics(self, enabled_obs):
+        reg, _ = enabled_obs
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=False)
+        with pytest.raises(ValueError):
+            policy.call(lambda: (_ for _ in ()).throw(ValueError("x")))
+        counters = reg.to_dict()["counters"]
+        assert counters["resilience.retries"] == 1
+        assert counters["resilience.retry_exhausted"] == 1

@@ -117,10 +117,15 @@ class TestAdmissionControl:
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
         try:
-            client = ServiceClient(f"http://127.0.0.1:{server.port}", timeout=10)
+            # retry=None: this test asserts the *first* 429, not the
+            # client's default retry-on-429 behavior.
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.port}", timeout=10, retry=None
+            )
             with pytest.raises(ServiceHTTPError) as err:
                 client.plan("lognormal", PARAMS)
             assert err.value.status == 429
+            assert err.value.retry_after == 1.0
             assert client.healthz()["status"] == "ok"
             counters = client.metrics()["metrics"]["counters"]
             assert counters["server.throttled"] == 1

@@ -1,0 +1,74 @@
+"""Crash-safe plan-cache snapshots: an interrupted save never corrupts.
+
+The write path is temp-file + ``os.replace``; the ``plancache.save`` fault
+site sits between the JSON write and the rename — exactly where a naive
+implementation would truncate the previous snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultRule, InjectedFault
+from repro.service.plancache import PlanCache
+
+SAVE_FAULT = FaultPlan([FaultRule(site="plancache.save", mode="error")])
+
+
+def make_cache(entries):
+    cache = PlanCache(maxsize=16)
+    for key, payload in entries:
+        cache.put(key, payload)
+    return cache
+
+
+class TestCrashSafety:
+    def test_interrupted_save_preserves_previous_snapshot(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        make_cache([("k1", {"v": 1})]).save(path)
+        before = open(path, "rb").read()
+
+        with faults.installed(SAVE_FAULT):
+            with pytest.raises(InjectedFault):
+                make_cache([("k2", {"v": 2})]).save(path)
+
+        assert open(path, "rb").read() == before  # byte-identical survivor
+        restored = PlanCache(maxsize=16)
+        assert restored.load(path) == 1
+        assert restored.get("k1") == {"v": 1}
+        assert restored.get("k2") is None
+
+    def test_interrupted_first_save_leaves_nothing(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        with faults.installed(SAVE_FAULT):
+            with pytest.raises(InjectedFault):
+                make_cache([("k1", {"v": 1})]).save(path)
+        assert not os.path.exists(path)
+
+    def test_no_temp_file_litter(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        make_cache([("k1", {"v": 1})]).save(path)
+        with faults.installed(SAVE_FAULT):
+            with pytest.raises(InjectedFault):
+                make_cache([("k2", {"v": 2})]).save(path)
+        assert os.listdir(tmp_path) == ["snap.json"]
+
+    def test_successful_save_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        make_cache([("k1", {"v": 1})]).save(path)
+        make_cache([("k2", {"v": 2})]).save(path)
+        doc = json.loads(open(path).read())
+        assert [e["key"] for e in doc["entries"]] == ["k2"]
+        assert os.listdir(tmp_path) == ["snap.json"]
+
+    def test_load_fault_site_is_injectable(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        make_cache([("k1", {"v": 1})]).save(path)
+        plan = FaultPlan([FaultRule(site="plancache.load", mode="error")])
+        with faults.installed(plan):
+            with pytest.raises(InjectedFault):
+                PlanCache().load(path)
