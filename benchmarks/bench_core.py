@@ -29,7 +29,8 @@ from repro import (
 )
 from repro.core.sequence import constant_extender
 from repro.discretization import equal_probability
-from repro.simulation.monte_carlo import costs_for_times
+from repro.simulation.batch import ReservationBatch, batch_expected_costs
+from repro.simulation.monte_carlo import costs_for_times, kernel_costs_and_indices
 
 _TIMINGS = {}
 
@@ -119,3 +120,62 @@ def test_sampling_inverse_transform_1m(benchmark):
     out = benchmark(d.rvs, 1_000_000, 42)
     assert out.shape == (1_000_000,)
     _record("sampling_inverse_transform_1m", benchmark)
+
+
+def _median_time(fn, repeats):
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return float(np.median(samples))
+
+
+def test_mc_batch_grid():
+    """Batched moments kernel vs a per-sequence loop over a t1 grid.
+
+    This is the brute-force scan's workload: S grid candidates costed
+    against one shared sample block.  The batched kernel replaces S python
+    round-trips (searchsorted + gather + mean each) with one (S, L) pass,
+    and must keep a >=10x single-core win — the guard CI enforces on
+    ``BENCH_core.json``.  Timed by hand: pytest-benchmark can't express a
+    two-path ratio in one test.
+    """
+    d = LogNormal(3.0, 0.5)
+    cm = CostModel.reservation_only()
+    times = d.rvs(4_000, seed=3)
+    cover = float(times.max())
+    t1s = np.linspace(d.quantile(0.05), d.quantile(0.95), 400)
+    batch = ReservationBatch.from_grid(t1s, d, cm, cover=cover)
+    rows = [batch.row_values(s) for s in range(batch.n_sequences)
+            if batch.feasible[s]]
+
+    def looped():
+        return [
+            float(kernel_costs_and_indices(values, times, cm)[0].mean())
+            for values in rows
+        ]
+
+    def batched():
+        return batch_expected_costs(batch, times, cm)
+
+    # Same numbers before timing them: means agree to kernel regrouping ulps.
+    summary = batched()
+    loop_means = np.array(looped())
+    np.testing.assert_allclose(
+        summary.mean_cost[batch.feasible], loop_means, rtol=1e-10
+    )
+
+    loop_s = _median_time(looped, repeats=3)
+    batch_s = _median_time(batched, repeats=5)
+    speedup = loop_s / batch_s if batch_s > 0 else float("inf")
+    _TIMINGS["mc_batch_grid"] = {
+        "n_sequences": int(batch.n_sequences),
+        "n_samples": int(times.size),
+        "loop_median_s": loop_s,
+        "batch_median_s": batch_s,
+        "speedup": speedup,
+    }
+    assert speedup >= 10.0, (
+        f"batched grid costing only {speedup:.1f}x over the python loop"
+    )

@@ -30,7 +30,8 @@ from repro.core.cost import CostModel
 from repro.distributions.registry import make_distribution
 from repro.service.plancache import PlanCache
 from repro.service.planner import PlannerService, ResilienceOptions
-from repro.service.pool import SerialBackend, ThreadBackend
+from repro.service.pool import ProcessBackend, SerialBackend, ThreadBackend
+from repro.simulation.batch import monte_carlo_many
 from repro.simulation.monte_carlo import monte_carlo_expected_cost
 from repro.strategies.registry import make_strategy
 
@@ -44,6 +45,16 @@ def _median_time(fn, repeats: int) -> float:
         fn()
         samples.append(time.perf_counter() - started)
     return float(np.median(samples))
+
+
+def _min_of_medians(fn, repeats: int, passes: int = 3) -> float:
+    """Noise guard: the min of several medians.
+
+    A single median still rides one bad scheduling window on a shared
+    runner; the minimum over independent passes converges on the true cost
+    of the code path (what an overhead comparison needs).
+    """
+    return min(_median_time(fn, repeats) for _ in range(passes))
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -157,14 +168,70 @@ def test_thread_vs_serial_mc(fresh_registry):
     }
 
 
+def test_mc_10k_process_vs_serial(fresh_registry):
+    """Batch-of-estimates throughput: process pool vs the serial loop.
+
+    ``monte_carlo_many`` is the workload the process backend exists for —
+    each worker draws *and* costs its own 10k-sample stream, so sampling
+    parallelizes too.  Results are backend-invariant by construction, so
+    bit-identity is asserted unconditionally; the >1.5x speedup guard (the
+    acceptance criterion CI enforces on ``BENCH_service.json``) only runs
+    where a second core exists to provide it.
+    """
+    n = 10_000
+    dist = make_distribution("lognormal", mu=3.0, sigma=0.5)
+    cm = CostModel.reservation_only()
+
+    seqs = [make_strategy("mean_by_mean").sequence(dist, cm) for _ in range(24)]
+    serial_s = _median_time(
+        lambda: monte_carlo_many(seqs, dist, cm, n_samples=n, seed=17),
+        repeats=3,
+    )
+    serial = monte_carlo_many(seqs, dist, cm, n_samples=n, seed=17)
+
+    cpus = os.cpu_count() or 1
+    jobs = min(4, cpus)
+    with ProcessBackend(jobs) as backend:
+        backend.map(len, [()])  # fork workers before the clock starts
+        process_s = _median_time(
+            lambda: monte_carlo_many(
+                seqs, dist, cm, n_samples=n, seed=17, backend=backend
+            ),
+            repeats=3,
+        )
+        pooled = monte_carlo_many(
+            seqs, dist, cm, n_samples=n, seed=17, backend=backend
+        )
+
+    assert [r.mean_cost for r in pooled] == [r.mean_cost for r in serial]
+    assert [r.std_error for r in pooled] == [r.std_error for r in serial]
+
+    speedup = serial_s / process_s if process_s > 0 else float("inf")
+    _TIMINGS["mc_10k_process_vs_serial"] = {
+        "n_estimates": len(seqs),
+        "n_samples": n,
+        "serial_median_s": serial_s,
+        "process_median_s": process_s,
+        "jobs": jobs,
+        "cpu_count": cpus,
+        "speedup": speedup,
+    }
+    if cpus >= 2:
+        assert speedup > 1.5, (
+            f"process backend only {speedup:.2f}x over serial on {cpus} cores"
+        )
+
+
 def test_resilience_overhead(fresh_registry):
     """Policies enabled but no faults: the resilience layer must be ~free.
 
     The degradation ladder, breaker check, and retry wrapper all sit on the
     evaluate hot path; with ``REPRO_FAULTS`` unset they should cost a guard
-    clause each.  Asserts enabled-path medians stay within 5% of the
+    clause each.  Asserts enabled-path timings stay within 5% of the
     ``ResilienceOptions.disabled()`` baseline (plus a 2ms epsilon so
     sub-millisecond jitter on shared runners can't flip the verdict).
+    Both paths are warmed first and timed as a min-of-medians — a single
+    10-repeat median rode scheduler noise into false ~20% "overheads".
     """
     request = {**REQUEST, "strategy": "mean_by_mean"}
 
@@ -173,15 +240,19 @@ def test_resilience_overhead(fresh_registry):
             cache=PlanCache(maxsize=32), n_samples=2000, resilience=resilience
         )
         service.plan(request)  # warm the plan cache: time only the MC path
-        return _median_time(lambda: service.evaluate(request), repeats=10)
+        for _ in range(3):  # warm the evaluate path itself (lazy imports, allocator)
+            service.evaluate(request)
+        return _min_of_medians(
+            lambda: service.evaluate(request), repeats=20, passes=3
+        )
 
     raw_s = evaluate_with(ResilienceOptions.disabled())
     res_s = evaluate_with(None)  # defaults: policies armed, no faults
 
     overhead = res_s / raw_s - 1.0 if raw_s > 0 else 0.0
     _TIMINGS["resilience_overhead"] = {
-        "disabled_median_s": raw_s,
-        "enabled_median_s": res_s,
+        "disabled_min_median_s": raw_s,
+        "enabled_min_median_s": res_s,
         "overhead_fraction": overhead,
     }
     assert res_s <= raw_s * 1.05 + 0.002, (

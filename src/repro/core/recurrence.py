@@ -30,6 +30,7 @@ __all__ = [
     "RecurrenceError",
     "next_reservation",
     "generate_optimal_sequence",
+    "generate_sequence_grid",
     "optimal_sequence_from_t1",
 ]
 
@@ -130,6 +131,86 @@ def generate_optimal_sequence(
         prev2, prev1 = prev1, nxt
         if float(distribution.sf(prev1)) < tail_tol:
             return values
+
+
+@profiled(name="recurrence.generate_sequence_grid")
+def generate_sequence_grid(
+    t1s: np.ndarray,
+    distribution,
+    cost_model: CostModel,
+    cover: float,
+    max_len: int = MAX_PREFIX,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run Eq. (11) for *every* candidate ``t_1`` in lockstep.
+
+    Returns ``(matrix, lengths, feasible)``: ``matrix`` is an ``(S, L)``
+    array whose row ``s`` holds candidate ``s``'s reservations padded with
+    ``inf``; ``lengths[s]`` is the number of real entries; ``feasible[s]``
+    is False exactly when the per-candidate lazy path
+    (:func:`optimal_sequence_from_t1` + ``ensure_covers(cover)``) would have
+    raised.  Feasible rows are **bit-identical** to the lazy path: each step
+    evaluates the same clamp-then-monotonicity checks on the same scalar
+    expression, just broadcast over the still-active candidates, so one
+    vectorized pdf/sf evaluation per *depth* replaces one per
+    (candidate, depth) pair.
+
+    ``cover`` follows the lazy semantics of the brute-force scan: a row is
+    complete as soon as its last reservation reaches ``cover`` (the largest
+    Monte-Carlo sample), not the distribution's tail.
+    """
+    t1s = np.asarray(t1s, dtype=float)
+    if t1s.ndim != 1 or t1s.size == 0:
+        raise ValueError("t1s must be a non-empty 1-D array")
+    n_candidates = t1s.size
+    metrics.inc("recurrence.grid_candidates", n_candidates)
+    hi = float(distribution.upper)
+    a, b, g = cost_model.alpha, cost_model.beta, cost_model.gamma
+
+    first = np.minimum(t1s, hi) if np.isfinite(hi) else t1s.copy()
+    columns = [first]
+    feasible = t1s > 0.0
+    active = feasible & (first < cover)
+    prev2 = np.zeros(n_candidates)
+    prev1 = first.copy()
+    depth = 1
+    while active.any():
+        depth += 1
+        if depth > max_len:
+            feasible[active] = False
+            break
+        metrics.inc("recurrence.grid_steps")
+        idx = np.nonzero(active)[0]
+        p1 = prev1[idx]
+        p2 = prev2[idx]
+        f = np.asarray(distribution.pdf(p1), dtype=float)
+        sf1 = np.asarray(distribution.sf(p1), dtype=float)
+        sf2 = np.asarray(distribution.sf(p2), dtype=float)
+        bad = ~np.isfinite(f) | (f <= 0.0)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            nxt = sf2 / f + (b / a) * (sf1 / f - p1) - g / a
+        bad |= ~np.isfinite(nxt)
+        if np.isfinite(hi):
+            # Clamp before the monotonicity check, exactly as the lazy
+            # extender does (min(nxt, hi) happens before extend_once).
+            nxt = np.minimum(nxt, hi)
+        bad |= nxt <= p1 + MONOTONE_ATOL
+        column = np.full(n_candidates, np.inf)
+        good = ~bad
+        column[idx[good]] = nxt[good]
+        columns.append(column)
+        feasible[idx[bad]] = False
+        active[idx[bad]] = False
+        prev2[idx[good]] = p1[good]
+        prev1[idx[good]] = nxt[good]
+        done = idx[good][nxt[good] >= cover]
+        active[done] = False
+
+    matrix = np.stack(columns, axis=1)
+    # Infeasible rows keep whatever prefix they grew before breaking down;
+    # pad them fully so downstream kernels can mask on `feasible` alone.
+    matrix[~feasible] = np.inf
+    lengths = np.isfinite(matrix).sum(axis=1)
+    return matrix, lengths, feasible
 
 
 def optimal_sequence_from_t1(

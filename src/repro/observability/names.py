@@ -33,6 +33,24 @@ MC_KERNEL_CALLS = "mc.kernel_calls"
 MC_KERNEL = "mc.kernel"
 MC_SEARCHSORTED_REUSED = "mc.searchsorted_reused"
 MC_PARALLEL_CHUNKS = "mc.parallel_chunks"
+MC_CHUNK_FALLBACKS = "mc.chunk_fallbacks"
+
+# -- batched Monte-Carlo kernels (repro.simulation.batch) -----------------
+MC_BATCH_CALLS = "mc.batch.calls"
+MC_BATCH_SEQUENCES = "mc.batch.sequences"
+MC_BATCH_SAMPLES = "mc.batch.samples"
+MC_BATCH_KERNEL = "mc.batch.kernel"
+MC_BATCH_MATRIX_KERNEL = "mc.batch.matrix_kernel"
+MC_BATCH_TASKS = "mc.batch.tasks"
+MC_BATCH_SHM_BYTES = "mc.batch.shm_bytes"
+#: Static prefix of the per-kind backend-selection counters (a
+#: DYNAMIC_PREFIXES family); full names are built as
+#: f"{MC_BATCH_BACKEND_PREFIX}{kind}" for kind in serial/thread/process.
+MC_BATCH_BACKEND_PREFIX = "mc.batch.backend."
+
+# -- Eq. (11) grid recurrence ---------------------------------------------
+RECURRENCE_GRID_CANDIDATES = "recurrence.grid_candidates"
+RECURRENCE_GRID_STEPS = "recurrence.grid_steps"
 EVALUATOR_EVALUATIONS = "evaluator.evaluations"
 EVALUATOR_MONTE_CARLO = "evaluator.monte_carlo"
 EVALUATOR_SERIES = "evaluator.series"
@@ -112,6 +130,7 @@ DYNAMIC_PREFIXES = (
     "profile.",                # one timer per @profiled function
     "resilience.fault.",       # one counter per fault-injection site
     "resilience.evaluator.",   # one counter per degradation-ladder rung
+    "mc.batch.backend.",       # one counter per selected batch backend kind
 )
 
 

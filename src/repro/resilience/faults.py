@@ -92,6 +92,15 @@ class InjectedFault(RuntimeError):
         self.site = site
         self.rule = rule
 
+    def __reduce__(self):
+        # Exceptions unpickle as ``cls(*args)`` with args = (message,) by
+        # default, which would crash the two-argument constructor — and a
+        # fault injected inside a *process-pool* worker travels back to the
+        # driver by pickle.  Rebuild from (site, rule) instead so chaos
+        # drills against the process backend surface the real fault, not a
+        # BrokenProcessPool unpickling error.
+        return (type(self), (self.site, self.rule))
+
 
 # ----------------------------------------------------------------------
 # Site registry (documentation + typo guard for plan specs)

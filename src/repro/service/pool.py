@@ -42,6 +42,7 @@ from __future__ import annotations
 import abc
 import concurrent.futures
 import os
+import threading
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.observability import metrics
@@ -55,7 +56,9 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
+    "AutoBackend",
     "get_backend",
+    "effective_cpu_count",
     "BACKEND_KINDS",
     "chunk_sizes",
 ]
@@ -63,7 +66,18 @@ __all__ = [
 T = TypeVar("T")
 R = TypeVar("R")
 
-BACKEND_KINDS = ("serial", "thread", "process")
+BACKEND_KINDS = ("serial", "thread", "process", "auto")
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(len(getaffinity(0)), 1)
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+    return os.cpu_count() or 1
 
 
 class PoolError(RuntimeError):
@@ -240,6 +254,62 @@ class ProcessBackend(_ExecutorBackend):
         super().__init__(concurrent.futures.ProcessPoolExecutor(max_workers=jobs), jobs)
 
 
+class AutoBackend(ExecutionBackend):
+    """Problem-size-aware backend selection (``kind="auto"``).
+
+    ``AutoBackend`` is a *policy holder*, not a pool: size-aware callers
+    (the Monte-Carlo evaluator and the batched kernels in
+    :mod:`repro.simulation.batch`) call :meth:`select` with their sample
+    count and, when it answers ``"process"``, fetch the lazily-created
+    shared :class:`ProcessBackend` via :meth:`process_backend`.  The pool is
+    created once, under a lock, and reused across calls — process-pool
+    startup (~100s of ms) would otherwise swamp the kernels it accelerates.
+
+    The generic :meth:`map` contract is satisfied by inline serial
+    execution: callers that cannot describe their problem size get the
+    deterministic default rather than a guess.
+    """
+
+    kind = "auto"
+
+    def __init__(self, jobs: int = 0):
+        self.jobs = _resolve_jobs(jobs)
+        self._lock = threading.Lock()
+        self._process: Optional[ProcessBackend] = None
+        self._serial = SerialBackend()
+
+    def select(self, n_samples: int, min_samples: int) -> str:
+        """``"process"`` when the kernel is big enough to amortize dispatch
+        and at least two CPUs are available; ``"serial"`` otherwise."""
+        if (
+            n_samples >= min_samples
+            and self.jobs > 1
+            and effective_cpu_count() >= 2
+        ):
+            return "process"
+        return "serial"
+
+    def process_backend(self) -> ProcessBackend:
+        """The shared process pool, created on first use."""
+        with self._lock:
+            if self._process is None:
+                self._process = ProcessBackend(self.jobs)
+            return self._process
+
+    def map(self, fn, items, timeout=None, retries=0, retry_policy=None,
+            deadline=None):
+        return self._serial.map(
+            fn, items, timeout=timeout, retries=retries,
+            retry_policy=retry_policy, deadline=deadline,
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            process, self._process = self._process, None
+        if process is not None:
+            process.close()
+
+
 def _resolve_jobs(jobs: int) -> int:
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
@@ -250,11 +320,14 @@ def get_backend(kind: Optional[str] = "serial", jobs: int = 1) -> ExecutionBacke
     """Instantiate a backend by name.
 
     ``jobs <= 1`` (or ``kind in (None, "serial")``) always yields the
-    serial backend, so callers can thread a single ``--jobs N`` flag
-    through without special-casing determinism.
+    serial backend — except for ``"auto"``, whose whole point is to make
+    that call from the problem size at evaluation time, so it is returned
+    as-is and sizes its pool from the CPU count when ``jobs <= 1``.
     """
     if kind is not None and kind not in BACKEND_KINDS:
         raise KeyError(f"unknown backend {kind!r}; known: {BACKEND_KINDS}")
+    if kind == "auto":
+        return AutoBackend(jobs if jobs > 1 else 0)
     if kind in (None, "serial") or jobs <= 1:
         return SerialBackend()
     if kind == "thread":

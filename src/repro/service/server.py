@@ -219,9 +219,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "auto"),
         default="thread",
-        help="execution backend for Monte-Carlo evaluation (default: thread)",
+        help="execution backend for Monte-Carlo evaluation (default: thread; "
+        "'auto' picks serial or process per request by problem size)",
     )
     parser.add_argument(
         "--jobs", type=int, default=0, help="worker count (0 = one per CPU)"

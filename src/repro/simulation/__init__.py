@@ -1,5 +1,12 @@
 """Monte-Carlo engine and evaluation harness (Section 5.1)."""
 
+from repro.simulation.batch import (
+    BatchCostSummary,
+    ReservationBatch,
+    batch_cost_matrix,
+    batch_expected_costs,
+    monte_carlo_many,
+)
 from repro.simulation.evaluator import (
     evaluate_on_samples,
     evaluate_sequence,
@@ -18,6 +25,11 @@ from repro.simulation.statistics import (
 )
 
 __all__ = [
+    "ReservationBatch",
+    "BatchCostSummary",
+    "batch_cost_matrix",
+    "batch_expected_costs",
+    "monte_carlo_many",
     "evaluate_sequence",
     "evaluate_on_samples",
     "evaluate_strategy",

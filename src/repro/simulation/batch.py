@@ -1,0 +1,620 @@
+"""Batched Monte-Carlo kernels: many sequences x many samples in one pass.
+
+The brute-force scan of Section 4.1, the verification sweep, and the service
+benchmarks all evaluate *grids* of candidate sequences against a shared
+sample set.  Looping :func:`repro.simulation.monte_carlo.costs_for_times`
+over the grid pays the full kernel overhead (validation, ``searchsorted``
+setup, prefix construction) once per sequence.  This module amortizes it
+over the whole grid:
+
+* :class:`ReservationBatch` — a padded ``(S, L)`` reservation matrix built
+  from explicit rows, live sequences, or an Eq. (11) candidate grid
+  (:func:`repro.core.recurrence.generate_sequence_grid`);
+* :func:`batch_cost_matrix` — the **bit-identical** kernel: the full
+  ``(S, N)`` per-sample cost matrix, row-for-row equal (every bit) to
+  looping ``costs_for_times`` over the same rows;
+* :func:`batch_expected_costs` — the **moments** kernel: per-row mean and
+  standard error in ``O(S*L + N log N)`` without materializing the cost
+  matrix, optionally sharded over a process pool with the sorted sample
+  block published once through ``multiprocessing.shared_memory`` (workers
+  attach; only row blocks are pickled per task);
+* :func:`monte_carlo_many` — a batch of independent Eq. (13) *estimates*
+  (one per sequence, each with its own spawned sample stream), the
+  coarse-grained unit that actually scales on a process pool because each
+  worker both draws and costs its chunk.
+
+How the batched kernel works: sort the samples once (``ts``), then
+``searchsorted(ts, matrix, side="right")`` counts, for every reservation of
+every row, how many samples it covers — exact integer ranks, no float
+arithmetic that could perturb bit-identity.  Differences along the row give
+``counts[s, l]`` (samples whose first covering reservation is ``l``), from
+which either the explicit index matrix (matrix kernel) or per-row cost
+moments (moments kernel) follow.
+
+Backend strings accepted everywhere: ``"serial"``, ``"thread"``,
+``"process"``, ``"auto"`` (see :mod:`repro.service.pool`); ``"auto"``
+engages the process pool only above the documented element-count
+thresholds and on ≥ 2 CPUs, and counts every decision under
+``mc.batch.backend.<kind>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence as SequenceType
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.recurrence import generate_sequence_grid
+from repro.core.sequence import ReservationSequence
+from repro.observability import metrics
+from repro.resilience import faults
+from repro.simulation.monte_carlo import (
+    MonteCarloResult,
+    PROCESS_COVERAGE_TAIL,
+    _result_from_partials,
+    _sample_and_cost_chunk,
+    kernel_costs_and_indices,
+)
+from repro.utils.rng import SeedLike, spawn_seed_sequences
+
+__all__ = [
+    "ReservationBatch",
+    "BatchCostSummary",
+    "batch_cost_matrix",
+    "batch_expected_costs",
+    "monte_carlo_many",
+    "AUTO_PROCESS_MIN_ELEMENTS",
+    "MATRIX_KERNEL_MAX_ELEMENTS",
+]
+
+#: ``backend="auto"`` in :func:`batch_expected_costs` /
+#: :func:`monte_carlo_many` engages the process pool only when the total
+#: work (sequences x samples) reaches this many elements; below it, pool
+#: dispatch plus pickling costs more than the vectorized serial kernel.
+AUTO_PROCESS_MIN_ELEMENTS = 8_000_000
+
+#: Soft cap on ``S * N`` for the matrix kernel (it materializes an
+#: ``(S, N)`` float64 matrix — 8 bytes per element).  Callers that only
+#: need means should switch to the moments kernel beyond this.
+MATRIX_KERNEL_MAX_ELEMENTS = 20_000_000
+
+
+@dataclass(frozen=True)
+class ReservationBatch:
+    """A grid of reservation sequences as one padded matrix.
+
+    ``matrix`` is ``(S, L)`` float64; row ``s`` holds ``lengths[s]`` real
+    reservations followed by ``inf`` padding (``inf`` sorts after every
+    sample, so padded columns never capture counts).  ``feasible[s]`` is
+    False for rows that have no valid sequence (e.g. Eq. (11) breakdowns —
+    the Fig. 3 gaps); such rows are all-``inf`` and are skipped by the
+    kernels.
+    """
+
+    matrix: np.ndarray
+    lengths: np.ndarray
+    feasible: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {self.matrix.shape}")
+        if self.lengths.shape != (self.matrix.shape[0],):
+            raise ValueError("lengths must have one entry per row")
+        if self.feasible.shape != (self.matrix.shape[0],):
+            raise ValueError("feasible must have one entry per row")
+
+    @property
+    def n_sequences(self) -> int:
+        return self.matrix.shape[0]
+
+    def last_reservations(self) -> np.ndarray:
+        """Per-row final real reservation (``-inf`` for infeasible rows)."""
+        rows = np.arange(self.n_sequences)
+        idx = np.maximum(self.lengths - 1, 0)
+        last = self.matrix[rows, idx]
+        return np.where(self.feasible & (self.lengths > 0), last, -np.inf)
+
+    def covers(self, horizon: float) -> np.ndarray:
+        """Boolean mask: which feasible rows cover ``horizon``."""
+        return self.last_reservations() >= horizon
+
+    def row_values(self, s: int) -> np.ndarray:
+        """Row ``s``'s real reservations (no padding)."""
+        return self.matrix[s, : int(self.lengths[s])].copy()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(cls, rows: SequenceType[np.ndarray]) -> "ReservationBatch":
+        """Pack explicit per-sequence reservation arrays into a batch."""
+        if not len(rows):
+            raise ValueError("need at least one row")
+        arrays = [np.asarray(r, dtype=float).ravel() for r in rows]
+        lengths = np.array([a.size for a in arrays])
+        if (lengths == 0).any():
+            raise ValueError("rows must be non-empty")
+        width = int(lengths.max())
+        matrix = np.full((len(arrays), width), np.inf)
+        for s, a in enumerate(arrays):
+            matrix[s, : a.size] = a
+        feasible = np.ones(len(arrays), dtype=bool)
+        return cls(matrix=matrix, lengths=lengths, feasible=feasible)
+
+    @classmethod
+    def from_sequences(
+        cls,
+        sequences: SequenceType[ReservationSequence],
+        cover: Optional[float] = None,
+    ) -> "ReservationBatch":
+        """Materialize live sequences (extending each to ``cover`` first)."""
+        if cover is not None:
+            for seq in sequences:
+                seq.ensure_covers(float(cover))
+        return cls.from_rows([np.asarray(seq.values) for seq in sequences])
+
+    @classmethod
+    def from_grid(
+        cls,
+        t1s: np.ndarray,
+        distribution,
+        cost_model: CostModel,
+        cover: float,
+    ) -> "ReservationBatch":
+        """Run the Eq. (11) recurrence for every candidate ``t_1`` in
+        lockstep (see :func:`repro.core.recurrence.generate_sequence_grid`);
+        infeasible candidates become infeasible rows instead of exceptions."""
+        matrix, lengths, feasible = generate_sequence_grid(
+            t1s, distribution, cost_model, cover
+        )
+        return cls(matrix=matrix, lengths=lengths, feasible=feasible)
+
+
+@dataclass(frozen=True)
+class BatchCostSummary:
+    """Per-row Eq. (13) moments from :func:`batch_expected_costs`.
+
+    Infeasible rows hold ``nan`` mean/std-error and ``max_index`` -1.
+    """
+
+    mean_cost: np.ndarray
+    std_error: np.ndarray
+    max_index: np.ndarray
+    feasible: np.ndarray
+    n_samples: int
+
+    def best_row(self) -> int:
+        """Index of the feasible row with the lowest mean cost."""
+        if not self.feasible.any():
+            raise ValueError("no feasible rows to choose from")
+        means = np.where(self.feasible, self.mean_cost, np.inf)
+        return int(np.argmin(means))
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+
+def _rank_counts(matrix: np.ndarray, ts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(row, reservation) sample counts against sorted samples ``ts``.
+
+    ``ranks[s, l]`` = number of samples ``<= matrix[s, l]``; first
+    differences along the row give ``counts[s, l]`` = number of samples
+    whose *first* covering reservation is ``l``.  Pure integer ranks —
+    exact, regardless of float magnitudes.
+    """
+    S, L = matrix.shape
+    ranks = np.searchsorted(ts, matrix.ravel(), side="right").reshape(S, L)
+    counts = np.diff(ranks, axis=1, prepend=0)
+    return ranks, counts
+
+
+def _failure_prefix(matrix: np.ndarray, cost_model: CostModel) -> np.ndarray:
+    """Row-wise exclusive prefix of failed-reservation costs.
+
+    ``prefix[s, l]`` = total cost of row ``s``'s first ``l`` reservations,
+    all failed — the same cumulative sum the serial kernel builds, one row
+    at a time (``np.cumsum`` is sequential along the axis, so each row is
+    bit-identical to its 1-D counterpart).  ``inf`` padding overflows
+    harmlessly past every reachable index.
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        failure_costs = (
+            cost_model.alpha + cost_model.beta
+        ) * matrix + cost_model.gamma
+        body = np.cumsum(failure_costs, axis=1)[:, :-1]
+    return np.concatenate([np.zeros((matrix.shape[0], 1)), body], axis=1)
+
+
+def batch_cost_matrix(
+    batch: ReservationBatch,
+    times: np.ndarray,
+    cost_model: CostModel,
+) -> np.ndarray:
+    """The full ``(S, N)`` cost matrix, bit-identical to the serial kernel.
+
+    Row ``s`` equals ``costs_for_times(sequence_s, times, cost_model)``
+    *exactly* (every bit): the covering index of each sample is recovered
+    from integer rank counts, and the final cost expression gathers the same
+    operands (prefix, reservation value, sample, constants) and combines
+    them in the same left-to-right order as the serial kernel.  All feasible
+    rows must already cover ``times.max()``.  Infeasible rows come back as
+    ``nan``.
+    """
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 1 or times.size == 0:
+        raise ValueError("need a non-empty 1-D array of execution times")
+    if np.any(times < 0):
+        raise ValueError("execution times must be nonnegative")
+    S, L = batch.matrix.shape
+    N = times.size
+    _check_coverage(batch, float(times.max()))
+    metrics.inc("mc.batch.calls")
+    metrics.inc("mc.batch.sequences", S)
+    metrics.inc("mc.batch.samples", S * N)
+
+    with metrics.timer("mc.batch.matrix_kernel"):
+        order = np.argsort(times, kind="stable")
+        ts = times[order]
+        _, counts = _rank_counts(batch.matrix, ts)
+        # counts rows always sum to N (inf padding ranks as N), so this
+        # reshape is exact; infeasible all-inf rows dump every sample on
+        # column 0, fixed up below.
+        k_sorted = np.repeat(np.tile(np.arange(L), S), counts.ravel()).reshape(S, N)
+        prefix = _failure_prefix(batch.matrix, cost_model)
+        flat = k_sorted + (np.arange(S)[:, None] * L)
+        prefix_k = prefix.ravel().take(flat)
+        value_k = batch.matrix.ravel().take(flat)
+        # Same operand order as the serial kernel:
+        #   prefix[k] + alpha * values[k] + beta * t + gamma
+        costs_sorted = (
+            prefix_k
+            + cost_model.alpha * value_k
+            + cost_model.beta * ts
+            + cost_model.gamma
+        )
+        out = np.empty((S, N))
+        out[:, order] = costs_sorted
+    out[~batch.feasible] = np.nan
+    return out
+
+
+def _moments_kernel(
+    matrix: np.ndarray,
+    ts: np.ndarray,
+    csum: np.ndarray,
+    ts_sq: float,
+    cost_model: CostModel,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-row ``(sum, sum_sq, max_index)`` without the cost matrix.
+
+    For row ``s`` with per-reservation counts ``c_l`` and base cost
+    ``a_l = prefix_l + alpha * v_l + gamma`` (everything except the
+    ``beta * t`` term, constant within a count bucket):
+
+    ``sum   = sum_l c_l a_l + beta * sum(ts)``
+    ``sumsq = sum_l c_l a_l^2 + 2 beta sum_l a_l seg_l + beta^2 sum(ts^2)``
+
+    where ``seg_l`` is the sum of the samples in bucket ``l`` (a difference
+    of the sorted-sample prefix sums ``csum`` at the bucket's rank
+    boundaries).  ``O(S*L)`` after the shared ``O(N log N)`` sort.
+    """
+    ranks, counts = _rank_counts(matrix, ts)
+    prefix = _failure_prefix(matrix, cost_model)
+    with np.errstate(over="ignore", invalid="ignore"):
+        base = prefix + cost_model.alpha * matrix + cost_model.gamma
+        # Padding columns are inf with zero counts; 0 * inf would be nan.
+        base = np.where(counts > 0, base, 0.0)
+        seg = np.diff(csum[ranks], axis=1, prepend=0.0)
+        beta = cost_model.beta
+        sums = (counts * base).sum(axis=1) + beta * csum[-1]
+        sums_sq = (
+            (counts * base * base).sum(axis=1)
+            + 2.0 * beta * (base * seg).sum(axis=1)
+            + beta * beta * ts_sq
+        )
+    hit = counts > 0
+    max_index = hit.shape[1] - 1 - np.argmax(hit[:, ::-1], axis=1)
+    return sums, sums_sq, max_index
+
+
+def _moments_block_task(args):
+    """Moments kernel over one row block (pool task, ``mc.chunk`` site).
+
+    ``samples`` is either the sorted sample array itself (serial/thread —
+    shared address space) or a ``(shm_name, n)`` tuple naming the shared
+    memory block the driver published (process workers attach instead of
+    unpickling N floats per task).
+    """
+    faults.fire("mc.chunk")
+    samples, block, cost_model = args
+    if isinstance(samples, tuple):
+        name, n = samples
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            ts = np.ndarray((n,), dtype=np.float64, buffer=shm.buf)
+            csum = np.concatenate([[0.0], np.cumsum(ts)])
+            ts_sq = float(np.dot(ts, ts))
+            return _moments_kernel(np.asarray(block), ts, csum, ts_sq, cost_model)
+        finally:
+            shm.close()
+    ts = np.asarray(samples)
+    csum = np.concatenate([[0.0], np.cumsum(ts)])
+    ts_sq = float(np.dot(ts, ts))
+    return _moments_kernel(np.asarray(block), ts, csum, ts_sq, cost_model)
+
+
+def _check_coverage(batch: ReservationBatch, horizon: float) -> None:
+    uncovered = batch.feasible & ~batch.covers(horizon)
+    if uncovered.any():
+        rows = np.nonzero(uncovered)[0][:5].tolist()
+        raise ValueError(
+            f"feasible rows {rows} do not cover the largest sample "
+            f"({horizon:g}); extend them (ReservationBatch.from_sequences"
+            f"(cover=...) or a larger grid cover) before batch costing"
+        )
+
+
+def _select_batch_backend(backend, jobs: int, n_elements: int):
+    """Normalize ``backend`` to ``(kind, pool, owned)``.
+
+    ``kind`` is ``"serial" | "thread" | "process"``; ``owned`` is True when
+    the pool was created here (string argument) and the caller must close it
+    after the map — pass a backend *object* to reuse a pool across calls.
+    """
+    from repro.service.pool import (
+        AutoBackend,
+        ProcessBackend,
+        SerialBackend,
+        ThreadBackend,
+        effective_cpu_count,
+        get_backend,
+    )
+
+    owned = False
+    if backend is None:
+        backend = "serial"
+    if isinstance(backend, str):
+        if backend == "auto":
+            backend = AutoBackend(jobs)
+        else:
+            backend = get_backend(backend, jobs if jobs > 1 else effective_cpu_count())
+        owned = True
+    if isinstance(backend, AutoBackend):
+        kind = backend.select(n_elements, AUTO_PROCESS_MIN_ELEMENTS)
+        metrics.inc(f"mc.batch.backend.{kind}")
+        if kind == "process":
+            return "process", backend.process_backend(), owned
+        return "serial", None, False
+    if isinstance(backend, SerialBackend):
+        return "serial", None, False
+    if isinstance(backend, ProcessBackend):
+        return "process", backend, owned
+    if isinstance(backend, ThreadBackend):
+        return "thread", backend, owned
+    raise TypeError(f"unsupported backend for batched kernels: {backend!r}")
+
+
+def batch_expected_costs(
+    batch: ReservationBatch,
+    times: np.ndarray,
+    cost_model: CostModel,
+    backend=None,
+    jobs: int = 0,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 0,
+) -> BatchCostSummary:
+    """Eq. (13) mean and standard error for every row against shared samples.
+
+    The moments kernel never materializes the ``(S, N)`` cost matrix, so
+    grids far beyond :data:`MATRIX_KERNEL_MAX_ELEMENTS` are fine.  Row means
+    agree with the bit-identical matrix kernel to ~1 ulp (the summation is
+    regrouped by count bucket); tests comparing against looped serial calls
+    should use :func:`batch_cost_matrix` for exact equality and this
+    function with a tolerance.
+
+    ``backend="process"`` shards the rows across workers; the sorted sample
+    block is published once via shared memory (``mc.batch.shm_bytes``) and
+    each task pickles only its row block.  ``backend="auto"`` picks serial
+    or process from ``S * N`` (:data:`AUTO_PROCESS_MIN_ELEMENTS`).
+    """
+    times = np.asarray(times, dtype=float)
+    if times.ndim != 1 or times.size == 0:
+        raise ValueError("need a non-empty 1-D array of execution times")
+    if np.any(times < 0):
+        raise ValueError("execution times must be nonnegative")
+    S = batch.n_sequences
+    N = times.size
+    _check_coverage(batch, float(times.max()))
+    metrics.inc("mc.batch.calls")
+    metrics.inc("mc.batch.sequences", S)
+    metrics.inc("mc.batch.samples", S * N)
+
+    kind, pool, owned = _select_batch_backend(backend, jobs, S * N)
+    feasible_rows = np.nonzero(batch.feasible)[0]
+
+    order = np.argsort(times, kind="stable")
+    ts = times[order]
+
+    try:
+        if feasible_rows.size == 0:
+            sums = sums_sq = np.empty(0)
+            max_index = np.empty(0, dtype=int)
+        elif kind == "serial":
+            with metrics.timer("mc.batch.kernel"):
+                csum = np.concatenate([[0.0], np.cumsum(ts)])
+                ts_sq = float(np.dot(ts, ts))
+                sums, sums_sq, max_index = _moments_kernel(
+                    batch.matrix[feasible_rows], ts, csum, ts_sq, cost_model
+                )
+        else:
+            sums, sums_sq, max_index = _sharded_moments(
+                batch.matrix[feasible_rows], ts, cost_model, kind, pool,
+                task_timeout, task_retries,
+            )
+    finally:
+        if owned:
+            pool.close()
+
+    mean = np.full(S, np.nan)
+    std_error = np.full(S, np.nan)
+    max_idx = np.full(S, -1, dtype=int)
+    if feasible_rows.size:
+        mean[feasible_rows] = sums / N
+        if N > 1:
+            var = np.maximum(sums_sq - N * (sums / N) ** 2, 0.0) / (N - 1)
+            std_error[feasible_rows] = np.sqrt(var / N)
+        else:
+            std_error[feasible_rows] = 0.0
+        max_idx[feasible_rows] = max_index
+    return BatchCostSummary(
+        mean_cost=mean,
+        std_error=std_error,
+        max_index=max_idx,
+        feasible=batch.feasible.copy(),
+        n_samples=N,
+    )
+
+
+def _sharded_moments(
+    matrix: np.ndarray,
+    ts: np.ndarray,
+    cost_model: CostModel,
+    kind: str,
+    pool,
+    task_timeout,
+    task_retries,
+):
+    """Fan the moments kernel over row blocks on a thread/process pool."""
+    from repro.service.pool import chunk_sizes
+
+    workers = max(int(getattr(pool, "jobs", 1)), 1)
+    sizes = chunk_sizes(matrix.shape[0], workers)
+    blocks: List[np.ndarray] = []
+    start = 0
+    for size in sizes:
+        blocks.append(matrix[start : start + size])
+        start += size
+    metrics.inc("mc.batch.tasks", len(blocks))
+
+    shm = None
+    try:
+        if kind == "process":
+            shm = shared_memory.SharedMemory(create=True, size=ts.nbytes)
+            shm_view = np.ndarray(ts.shape, dtype=np.float64, buffer=shm.buf)
+            shm_view[:] = ts
+            metrics.inc("mc.batch.shm_bytes", ts.nbytes)
+            samples = (shm.name, ts.size)
+        else:
+            samples = ts
+        with metrics.timer("mc.batch.kernel"):
+            parts = pool.map(
+                _moments_block_task,
+                [(samples, block, cost_model) for block in blocks],
+                timeout=task_timeout,
+                retries=task_retries,
+            )
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+    sums = np.concatenate([p[0] for p in parts])
+    sums_sq = np.concatenate([p[1] for p in parts])
+    max_index = np.concatenate([p[2] for p in parts])
+    return sums, sums_sq, max_index
+
+
+# ----------------------------------------------------------------------
+# Coarse-grained batch of independent estimates
+# ----------------------------------------------------------------------
+
+def monte_carlo_many(
+    sequences: SequenceType[ReservationSequence],
+    distribution,
+    cost_model: CostModel,
+    n_samples: int = 1000,
+    seed: SeedLike = None,
+    backend=None,
+    jobs: int = 0,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 0,
+) -> List[MonteCarloResult]:
+    """Independent Eq. (13) estimates for many sequences, one task each.
+
+    Every sequence gets its own ``SeedSequence``-spawned sample stream, and
+    each pool task draws *and* costs its chunk — sampling parallelizes too,
+    which is what lets the process backend beat the serial loop on whole
+    planning workloads (one fine-grained 10k-sample estimate alone is
+    dominated by serial sampling; see ``docs/PERFORMANCE.md``).
+
+    **Backend-invariant:** results are bit-identical across serial, thread,
+    process, and auto backends for a fixed ``(seed, n_samples)`` — every
+    backend runs the same per-sequence task on the same spawned stream; only
+    where it runs changes.
+    """
+    if not len(sequences):
+        raise ValueError("need at least one sequence")
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    metrics.inc("mc.batch.calls")
+    metrics.inc("mc.batch.sequences", len(sequences))
+    metrics.inc("mc.batch.samples", len(sequences) * n_samples)
+
+    kind, pool, owned = _select_batch_backend(
+        backend, jobs, len(sequences) * n_samples
+    )
+    children = spawn_seed_sequences(seed, len(sequences))
+    horizon = _coverage_horizon(distribution)
+    value_arrays: List[np.ndarray] = []
+    for seq in sequences:
+        if seq.is_extensible:
+            seq.ensure_covers(horizon)
+        value_arrays.append(np.array(seq.values, dtype=float, copy=True))
+
+    tasks = [
+        (distribution, child, n_samples, values, cost_model)
+        for child, values in zip(children, value_arrays)
+    ]
+    metrics.inc("mc.batch.tasks", len(tasks))
+    try:
+        if kind == "serial":
+            partials = [_sample_and_cost_chunk(task) for task in tasks]
+        else:
+            partials = pool.map(
+                _sample_and_cost_chunk, tasks,
+                timeout=task_timeout, retries=task_retries,
+            )
+    finally:
+        if owned:
+            pool.close()
+
+    results: List[MonteCarloResult] = []
+    for i, partial in enumerate(partials):
+        n_reservations = int(value_arrays[i].size)
+        if not partial[3]:
+            # The stream outran the pre-extended horizon: redraw it where
+            # the live extender is available (same stream, same estimate).
+            metrics.inc("mc.chunk_fallbacks")
+            rng = np.random.default_rng(children[i])
+            times = np.asarray(distribution.rvs(n_samples, seed=rng), dtype=float)
+            sequences[i].ensure_covers(float(times.max()))
+            values = np.asarray(sequences[i].values)
+            costs, k = kernel_costs_and_indices(values, times, cost_model)
+            partial = (
+                float(costs.sum()), float(np.dot(costs, costs)), int(k.max()),
+            )
+            n_reservations = int(values.size)
+        results.append(
+            _result_from_partials([partial[:3]], n_samples, n_reservations)
+        )
+    return results
+
+
+def _coverage_horizon(distribution) -> float:
+    upper = float(distribution.upper)
+    if np.isfinite(upper):
+        return upper
+    return float(distribution.quantile(1.0 - PROCESS_COVERAGE_TAIL))

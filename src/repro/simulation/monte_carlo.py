@@ -7,6 +7,29 @@ covering reservation of every sample, and a prefix-sum over per-reservation
 failure costs accumulates the paid-but-failed reservations — no per-sample
 Python loop (cf. the hpc-parallel guide on vectorizing).
 
+Backends (``backend=`` may be a :class:`repro.service.pool.ExecutionBackend`
+or one of the strings ``"serial"``, ``"thread"``, ``"process"``, ``"auto"``):
+
+* **serial** — the historical single-pass kernel, bit-identical for a fixed
+  seed.  Always used for ``jobs=1`` with no explicit backend.
+* **thread** — splits the samples into one pre-drawn chunk per worker; the
+  vectorized kernel releases the GIL.  Chunks are drawn from
+  ``SeedSequence``-spawned streams, so a fixed ``(seed, jobs)`` pair is
+  deterministic.
+* **process** — each worker *draws and costs its own chunk* from the same
+  spawned streams the thread path would use (so thread and process agree
+  bit-for-bit for the same ``(seed, jobs)``), shipping only a seed and the
+  materialized reservation values — never the sample block — across the
+  process boundary.  Sampling and costing both parallelize.
+* **auto** — picks serial or process by problem size (see
+  :data:`AUTO_PROCESS_MIN_SAMPLES`); the thread backend is never
+  auto-selected — per-chunk GIL hand-offs made it *slower* than serial on
+  this kernel (``BENCH_service.json``, ``mc_10k_thread_vs_serial``).
+
+Evaluating a whole *grid* of candidate sequences against one shared sample
+set lives in :mod:`repro.simulation.batch`, which amortizes everything above
+over the sequence axis.
+
 Instrumentation (``repro.observability``): the kernel counts samples costed
 (``mc.samples``) and kernel invocations (``mc.kernel_calls``) and times each
 invocation under ``mc.kernel``; all of it is a no-op unless observability is
@@ -24,9 +47,32 @@ from repro.core.sequence import ReservationSequence
 from repro.observability import metrics
 from repro.observability.profiling import profiled
 from repro.resilience import faults
-from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.rng import (
+    SeedLike,
+    as_generator,
+    spawn_generators,
+    spawn_seed_sequences,
+)
 
-__all__ = ["MonteCarloResult", "costs_for_times", "monte_carlo_expected_cost"]
+__all__ = [
+    "MonteCarloResult",
+    "costs_for_times",
+    "monte_carlo_expected_cost",
+    "AUTO_PROCESS_MIN_SAMPLES",
+    "PROCESS_COVERAGE_TAIL",
+]
+
+#: ``backend="auto"`` only engages the process backend at or above this many
+#: samples — below it, pool dispatch overhead exceeds the kernel time and the
+#: serial single-pass kernel wins.
+AUTO_PROCESS_MIN_SAMPLES = 200_000
+
+#: Tail mass used to pre-extend a sequence before process dispatch: workers
+#: cannot run extender closures, so the driver materializes reservations out
+#: to ``Q(1 - tail)`` first.  A worker whose chunk still exceeds that horizon
+#: reports back and the driver re-costs that chunk serially (the
+#: ``mc.chunk_fallbacks`` counter).
+PROCESS_COVERAGE_TAIL = 1e-12
 
 
 @dataclass(frozen=True)
@@ -43,6 +89,41 @@ class MonteCarloResult:
         """Normal-approximation CI for the mean cost."""
         half = z * self.std_error
         return (self.mean_cost - half, self.mean_cost + half)
+
+
+def kernel_costs_and_indices(
+    values: np.ndarray,
+    times: np.ndarray,
+    cost_model: CostModel,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The raw Eq. (2) costing kernel on plain arrays: ``(C(k, t), k)``.
+
+    ``values`` must be strictly increasing and cover ``times.max()``; no
+    validation or extension happens here.  Every caller — serial, thread
+    chunk, process chunk, and the batched matrix kernel in
+    :mod:`repro.simulation.batch` — funnels through this exact sequence of
+    floating-point operations, which is what makes the differential harness's
+    bit-identity assertions possible.
+    """
+    # k[j]: index of the first reservation >= times[j].
+    k = np.searchsorted(values, times, side="left")
+    # prefix[i]: total cost of the first i reservations, all failed.  A
+    # near-collapse Eq. (11) candidate can produce astronomically large
+    # tail reservations; their prefix entries overflow to inf but sit
+    # beyond every sample's index, so the overflow is harmless — silence
+    # it locally.
+    with np.errstate(over="ignore"):
+        failure_costs = (
+            cost_model.alpha + cost_model.beta
+        ) * values + cost_model.gamma
+        prefix = np.concatenate([[0.0], np.cumsum(failure_costs)])
+    costs = (
+        prefix[k]
+        + cost_model.alpha * values[k]
+        + cost_model.beta * times
+        + cost_model.gamma
+    )
+    return costs, k
 
 
 def _costs_and_indices(
@@ -68,24 +149,7 @@ def _costs_and_indices(
     metrics.inc("mc.samples", times.size)
     metrics.inc("mc.kernel_calls")
     with metrics.timer("mc.kernel"):
-        # k[j]: index of the first reservation >= times[j].
-        k = np.searchsorted(values, times, side="left")
-        # prefix[i]: total cost of the first i reservations, all failed.  A
-        # near-collapse Eq. (11) candidate can produce astronomically large
-        # tail reservations; their prefix entries overflow to inf but sit
-        # beyond every sample's index, so the overflow is harmless — silence
-        # it locally.
-        with np.errstate(over="ignore"):
-            failure_costs = (
-                cost_model.alpha + cost_model.beta
-            ) * values + cost_model.gamma
-            prefix = np.concatenate([[0.0], np.cumsum(failure_costs)])
-        costs = (
-            prefix[k]
-            + cost_model.alpha * values[k]
-            + cost_model.beta * times
-            + cost_model.gamma
-        )
+        costs, k = kernel_costs_and_indices(values, times, cost_model)
     return costs, k
 
 
@@ -121,6 +185,123 @@ def _chunk_task(args) -> tuple[float, float, int]:
     return float(costs.sum()), float(np.dot(costs, costs)), int(k.max())
 
 
+def _sample_and_cost_chunk(args):
+    """Draw one chunk from its spawned stream and cost it (process workers).
+
+    Returns ``(sum, sum_sq, max_index, covered, chunk_max)``.  The sample
+    block never crosses the process boundary — only the chunk's
+    ``SeedSequence`` and the materialized reservation values do.  When the
+    chunk's largest sample exceeds the pre-extended horizon the worker
+    reports ``covered=False`` and the driver re-costs that chunk serially
+    with the live extender (same stream, so the estimate is unchanged).
+
+    Also a ``mc.chunk`` fault-injection site, like the pre-sampled variant.
+    """
+    faults.fire("mc.chunk")
+    distribution, child_seed, n, values, cost_model = args
+    rng = np.random.default_rng(child_seed)
+    times = np.asarray(distribution.rvs(n, seed=rng), dtype=float)
+    chunk_max = float(times.max())
+    if chunk_max > float(values[-1]):
+        return 0.0, 0.0, 0, False, chunk_max
+    costs, k = kernel_costs_and_indices(values, times, cost_model)
+    return float(costs.sum()), float(np.dot(costs, costs)), int(k.max()), True, chunk_max
+
+
+def _result_from_partials(
+    partials, n_samples: int, n_reservations_used: int
+) -> MonteCarloResult:
+    """Combine per-chunk ``(sum, sum_sq, max_index)`` into one estimate."""
+    total = float(sum(p[0] for p in partials))
+    total_sq = float(sum(p[1] for p in partials))
+    mean = total / n_samples
+    if n_samples > 1:
+        var = max(total_sq - n_samples * mean * mean, 0.0) / (n_samples - 1)
+        std_error = float(np.sqrt(var / n_samples))
+    else:
+        std_error = 0.0
+    return MonteCarloResult(
+        mean_cost=mean,
+        std_error=std_error,
+        n_samples=n_samples,
+        n_reservations_used=n_reservations_used,
+        max_reservations_hit=max(p[2] for p in partials) + 1,
+    )
+
+
+def _coverage_horizon(distribution) -> float:
+    """Reservation horizon pre-extended before process dispatch."""
+    upper = float(distribution.upper)
+    if np.isfinite(upper):
+        return upper
+    return float(distribution.quantile(1.0 - PROCESS_COVERAGE_TAIL))
+
+
+def _resolve_backend(backend, jobs: int, n_samples: int):
+    """Normalize ``backend``/``jobs`` to ``(kind, backend, jobs, owned)``.
+
+    ``kind`` is one of ``"serial"``, ``"thread"``, ``"process"``; the
+    returned backend is ``None`` for the serial kind and otherwise an
+    :class:`~repro.service.pool.ExecutionBackend`.  ``owned`` is True when
+    this call *created* the pool (string argument or the historical
+    ``jobs>1`` default) and must close it afterwards — reuse a backend
+    object across calls to amortize pool startup.  ``"auto"`` (string or
+    :class:`~repro.service.pool.AutoBackend`) applies the documented
+    problem-size policy; a caller-supplied AutoBackend keeps ownership of
+    its shared process pool.
+    """
+    # Deferred import: repro.service imports this module for the planner.
+    from repro.service.pool import (
+        AutoBackend,
+        ProcessBackend,
+        SerialBackend,
+        ThreadBackend,
+        effective_cpu_count,
+        get_backend,
+    )
+
+    owned = False
+    if backend is None:
+        if jobs > 1:
+            return "thread", get_backend("thread", jobs), jobs, True
+        return "serial", None, 1, False
+
+    if isinstance(backend, str):
+        if backend == "auto":
+            backend = AutoBackend(jobs if jobs > 1 else 0)
+        else:
+            resolved_jobs = jobs if jobs > 1 else effective_cpu_count()
+            backend = get_backend(backend, resolved_jobs)
+            if isinstance(backend, SerialBackend):
+                return "serial", None, 1, False
+        owned = True
+
+    if isinstance(backend, AutoBackend):
+        kind = backend.select(n_samples, AUTO_PROCESS_MIN_SAMPLES)
+        metrics.inc(f"mc.batch.backend.{kind}")
+        if kind == "serial":
+            if owned:
+                backend.close()
+            return "serial", None, 1, False
+        # Hand back the underlying pool; an owned (ephemeral) AutoBackend's
+        # pool is closed after the call, a caller-supplied one keeps its
+        # shared pool alive across calls.
+        return "process", backend.process_backend(), backend.jobs, owned
+
+    if isinstance(backend, SerialBackend):
+        return "serial", None, 1, False
+    if isinstance(backend, ProcessBackend):
+        return "process", backend, jobs if jobs > 1 else backend.jobs, owned
+    if isinstance(backend, ThreadBackend):
+        return "thread", backend, jobs if jobs > 1 else backend.jobs, owned
+    # Unknown ExecutionBackend implementations get the pre-sampled chunk
+    # treatment (the historical contract for custom backends).
+    return (
+        "thread", backend, jobs if jobs > 1 else int(getattr(backend, "jobs", 1)),
+        owned,
+    )
+
+
 def monte_carlo_expected_cost(
     sequence: ReservationSequence,
     distribution,
@@ -136,13 +317,13 @@ def monte_carlo_expected_cost(
 
     ``jobs=1`` (the default, with no ``backend``) is the library's historical
     serial path, bit-identical for a fixed seed.  ``jobs > 1`` — or an
-    explicit :class:`repro.service.pool.ExecutionBackend` — splits the
-    samples into one chunk per worker, each drawn from its own
-    ``SeedSequence``-spawned stream: the estimate is still deterministic for
-    a fixed ``(seed, jobs)`` pair, but uses a different sample set than the
-    serial path (they agree within the Monte-Carlo confidence interval).
-    Sampling and sequence extension stay serial; only the vectorized costing
-    kernel (which releases the GIL) fans out.
+    explicit backend (object or name; see the module docstring for the
+    backend taxonomy) — splits the samples into one chunk per worker, each
+    drawn from its own ``SeedSequence``-spawned stream: the estimate is still
+    deterministic for a fixed ``(seed, jobs)`` pair, and thread and process
+    backends produce *identical* estimates for that pair (same streams, same
+    kernel), but use a different sample set than the serial path (they agree
+    within the Monte-Carlo confidence interval).
 
     ``task_timeout``/``task_retries`` are forwarded to the backend's
     ``map`` so a hung or faulted chunk (e.g. under a ``REPRO_FAULTS``
@@ -152,8 +333,9 @@ def monte_carlo_expected_cost(
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
 
-    n_chunks = jobs if jobs > 1 else int(getattr(backend, "jobs", 1))
-    if n_chunks <= 1:
+    kind, resolved, n_chunks, owned = _resolve_backend(backend, jobs, n_samples)
+
+    if kind == "serial":
         rng = as_generator(seed)
         times = distribution.rvs(n_samples, seed=rng)
         costs, k = _costs_and_indices(sequence, times, cost_model)
@@ -167,36 +349,77 @@ def monte_carlo_expected_cost(
         )
 
     # Deferred import: repro.service imports this module for the planner.
-    from repro.service.pool import chunk_sizes, get_backend
+    from repro.service.pool import chunk_sizes
 
-    if backend is None:
-        backend = get_backend("thread", jobs)
-    sizes = chunk_sizes(n_samples, n_chunks)
-    gens = spawn_generators(seed, len(sizes))
-    chunks = [distribution.rvs(n, seed=g) for n, g in zip(sizes, gens)]
-    # One serial extension past the global max: chunk workers then only read
-    # the sequence (ensure_covers on a covering sequence is a no-op).
-    sequence.ensure_covers(float(max(c.max() for c in chunks)))
-    metrics.inc("mc.parallel_chunks", len(chunks))
+    # Fewer samples than workers: chunk_sizes collapses to one sample per
+    # chunk, so no chunk is ever empty (an empty chunk would make the
+    # worker's ``times.max()`` raise).
+    sizes = chunk_sizes(n_samples, max(n_chunks, 1))
+
+    try:
+        if kind == "process":
+            return _process_expected_cost(
+                sequence, distribution, cost_model, sizes, seed,
+                resolved, task_timeout, task_retries, n_samples,
+            )
+
+        gens = spawn_generators(seed, len(sizes))
+        chunks = [distribution.rvs(n, seed=g) for n, g in zip(sizes, gens)]
+        # One serial extension past the global max: chunk workers then only
+        # read the sequence (ensure_covers on a covering sequence is a no-op).
+        sequence.ensure_covers(float(max(c.max() for c in chunks)))
+        metrics.inc("mc.parallel_chunks", len(chunks))
+        partials = resolved.map(
+            _chunk_task,
+            [(sequence, c, cost_model) for c in chunks],
+            timeout=task_timeout,
+            retries=task_retries,
+        )
+        return _result_from_partials(partials, n_samples, len(sequence))
+    finally:
+        if owned:
+            resolved.close()
+
+
+def _process_expected_cost(
+    sequence: ReservationSequence,
+    distribution,
+    cost_model: CostModel,
+    sizes,
+    seed: SeedLike,
+    backend,
+    task_timeout,
+    task_retries,
+    n_samples: int,
+) -> MonteCarloResult:
+    """Process-backend estimate: workers draw and cost their own chunks."""
+    children = spawn_seed_sequences(seed, len(sizes))
+    if sequence.is_extensible:
+        sequence.ensure_covers(_coverage_horizon(distribution))
+    values = np.array(sequence.values, dtype=float, copy=True)
+    metrics.inc("mc.parallel_chunks", len(sizes))
     partials = backend.map(
-        _chunk_task,
-        [(sequence, c, cost_model) for c in chunks],
+        _sample_and_cost_chunk,
+        [
+            (distribution, child, n, values, cost_model)
+            for n, child in zip(sizes, children)
+        ],
         timeout=task_timeout,
         retries=task_retries,
     )
-
-    total = float(sum(p[0] for p in partials))
-    total_sq = float(sum(p[1] for p in partials))
-    mean = total / n_samples
-    if n_samples > 1:
-        var = max(total_sq - n_samples * mean * mean, 0.0) / (n_samples - 1)
-        std_error = float(np.sqrt(var / n_samples))
-    else:
-        std_error = 0.0
-    return MonteCarloResult(
-        mean_cost=mean,
-        std_error=std_error,
-        n_samples=n_samples,
-        n_reservations_used=len(sequence),
-        max_reservations_hit=max(p[2] for p in partials) + 1,
-    )
+    combined = []
+    for i, partial in enumerate(partials):
+        if not partial[3]:
+            # The chunk outran the pre-extended horizon (probability
+            # ~ n * PROCESS_COVERAGE_TAIL): redraw the same stream serially
+            # where the live extender is available.
+            metrics.inc("mc.chunk_fallbacks")
+            rng = np.random.default_rng(children[i])
+            times = distribution.rvs(sizes[i], seed=rng)
+            costs, k = _costs_and_indices(sequence, times, cost_model)
+            combined.append(
+                (float(costs.sum()), float(np.dot(costs, costs)), int(k.max()))
+            )
+        else:
+            combined.append(partial[:3])
+    return _result_from_partials(combined, n_samples, len(sequence))

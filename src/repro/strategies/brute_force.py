@@ -31,6 +31,12 @@ from repro.core.recurrence import (
 )
 from repro.core.sequence import ReservationSequence, SequenceError
 from repro.observability import metrics, tracing
+from repro.simulation.batch import (
+    MATRIX_KERNEL_MAX_ELEMENTS,
+    ReservationBatch,
+    batch_cost_matrix,
+    batch_expected_costs,
+)
 from repro.simulation.monte_carlo import costs_for_times
 from repro.strategies.base import Strategy
 from repro.utils.rng import SeedLike, as_generator
@@ -84,6 +90,18 @@ class BruteForce(Strategy):
         series; deterministic, slightly slower per candidate).
     seed:
         RNG seed for the shared Monte-Carlo sample set.
+    batch:
+        Monte-Carlo mode only: score the whole candidate grid through the
+        batched kernels (:mod:`repro.simulation.batch`) — the Eq. (11)
+        recurrence runs for all candidates in lockstep and one vectorized
+        pass costs every (candidate, sample) pair.  Scan results (points,
+        feasibility, winner) are identical to the per-candidate loop; set
+        ``batch=False`` to force the historical loop.
+    backend:
+        Forwarded to :func:`repro.simulation.batch.batch_expected_costs`
+        when a batched scan is too large for the exact matrix kernel
+        (``m_grid * n_samples > MATRIX_KERNEL_MAX_ELEMENTS``) and falls
+        back to the sharded moments kernel.
     """
 
     name = "brute_force"
@@ -94,6 +112,8 @@ class BruteForce(Strategy):
         n_samples: int = 1000,
         evaluation: Literal["monte_carlo", "series"] = "monte_carlo",
         seed: SeedLike = None,
+        batch: bool = True,
+        backend=None,
     ):
         if m_grid < 1:
             raise ValueError(f"m_grid must be >= 1, got {m_grid}")
@@ -105,6 +125,8 @@ class BruteForce(Strategy):
         self.n_samples = n_samples
         self.evaluation = evaluation
         self.seed = seed
+        self.batch = batch
+        self.backend = backend
 
     # ------------------------------------------------------------------
     def candidate_cost(
@@ -150,6 +172,9 @@ class BruteForce(Strategy):
         elif samples is not None:
             raise ValueError("samples are only meaningful in monte_carlo mode")
 
+        if self.evaluation == "monte_carlo" and self.batch:
+            return self._batched_scan(distribution, cost_model, samples, lo, hi)
+
         points: List[ScanPoint] = []
         best_t1, best_cost = math.nan, math.inf
         with tracing.span(
@@ -176,6 +201,66 @@ class BruteForce(Strategy):
             )
         return BruteForceScan(
             points=points, best_t1=best_t1, best_cost=best_cost, interval=(lo, hi)
+        )
+
+    def _batched_scan(
+        self,
+        distribution,
+        cost_model: CostModel,
+        samples: np.ndarray,
+        lo: float,
+        hi: float,
+    ) -> BruteForceScan:
+        """Vectorized scan: lockstep Eq. (11) grid + one batched costing pass.
+
+        Uses the bit-identical matrix kernel (so winner and per-point costs
+        match the per-candidate loop exactly, ties included) while the grid
+        fits in :data:`repro.simulation.batch.MATRIX_KERNEL_MAX_ELEMENTS`;
+        larger grids fall back to the O(S*L) moments kernel, whose means
+        agree to ~1 ulp.
+        """
+        with tracing.span(
+            "strategy.brute_force.scan", m_grid=self.m_grid, lo=lo, hi=hi,
+            batch=True,
+        ) as sp:
+            # Same float expression as the scalar loop: lo + m*(hi-lo)/M.
+            m = np.arange(1, self.m_grid + 1, dtype=float)
+            t1s = lo + m * (hi - lo) / self.m_grid
+            cover = float(samples.max())
+            grid = ReservationBatch.from_grid(t1s, distribution, cost_model, cover)
+            if grid.n_sequences * samples.size <= MATRIX_KERNEL_MAX_ELEMENTS:
+                means = batch_cost_matrix(grid, samples, cost_model).mean(axis=1)
+            else:
+                means = batch_expected_costs(
+                    grid, samples, cost_model, backend=self.backend
+                ).mean_cost
+            points = [
+                ScanPoint(
+                    t1=float(t1s[i]),
+                    expected_cost=float(means[i]) if grid.feasible[i] else None,
+                )
+                for i in range(t1s.size)
+            ]
+            n_feasible = int(grid.feasible.sum())
+            metrics.inc("brute_force.candidates", len(points))
+            metrics.inc("brute_force.feasible_candidates", n_feasible)
+            if n_feasible == 0:
+                raise SequenceError(
+                    f"BRUTE-FORCE found no feasible t1 in [{lo}, {hi}] for "
+                    f"{distribution.describe()}"
+                )
+            # argmin picks the first minimal index — the same winner as the
+            # scalar loop's strict-improvement update.
+            masked = np.where(grid.feasible, means, np.inf)
+            best = int(np.argmin(masked))
+            if sp is not None:
+                sp.set("feasible", n_feasible)
+                sp.set("best_t1", float(t1s[best]))
+        return BruteForceScan(
+            points=points,
+            best_t1=float(t1s[best]),
+            best_cost=float(means[best]),
+            interval=(lo, hi),
         )
 
     def sequence(

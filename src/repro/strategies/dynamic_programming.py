@@ -24,7 +24,7 @@ exactly as in the paper, and the caller appends tail reservations beyond
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -50,11 +50,34 @@ class DiscreteDPResult:
     value_unnormalized: np.ndarray = None  # type: ignore[assignment]
 
 
+def _workspace_buffer(workspace, key: str, size: int) -> np.ndarray:
+    """Fetch (or lazily size) a float64 scratch buffer from ``workspace``."""
+    if workspace is None:
+        return np.empty(size)
+    buffer = workspace.get(key)
+    if buffer is None or buffer.size != size:
+        buffer = np.empty(size)
+        workspace[key] = buffer
+    return buffer
+
+
 @profiled(name="dp.solve_discrete_dp")
 def solve_discrete_dp(
-    discrete: DiscreteDistribution, cost_model: CostModel
+    discrete: DiscreteDistribution,
+    cost_model: CostModel,
+    workspace: Optional[dict] = None,
 ) -> DiscreteDPResult:
-    """Run the Theorem 5 dynamic program and backtrack the optimal sequence."""
+    """Run the Theorem 5 dynamic program and backtrack the optimal sequence.
+
+    ``workspace`` (an ordinary dict owned by the caller) lets repeated
+    solves of the same size reuse the O(n) scratch buffers instead of
+    reallocating them per call — worthwhile when a service or sweep solves
+    the DP for many cost models over one discretization.  It is *not*
+    shared between threads; give each thread its own dict.  The numerical
+    results are identical with or without it: every level applies the same
+    floating-point operations in the same order, only the buffer ownership
+    changes.
+    """
     metrics.inc("dp.solves")
     metrics.inc("dp.points", discrete.values.size)
     v = discrete.values
@@ -72,11 +95,23 @@ def solve_discrete_dp(
     # Terms independent of i: (alpha v_j + gamma) is scaled by W_i, so split:
     #   U_i = min_j [ (alpha v_j + gamma) W_i + beta (S_j - S_{i-1})
     #                 + beta v_j W_{j+1} + U_{j+1} ]
-    # For each i we scan j = i..n-1 (0-indexed).
+    # For each i we scan j = i..n-1 (0-indexed), writing the candidate row
+    # into one reused scratch buffer: the expression
+    #   (alpha v_j + gamma) W_i + base_j - beta S_{i-1} + U_{j+1}
+    # accumulates in-place with the same left-to-right association the
+    # allocating form had, so each level is bit-identical while the loop
+    # allocates nothing (no per-level arange/temporary chain).
     base_j = beta * v * suffix[1:] + beta * prefix_fv[1:]  # beta v_j W_{j+1} + beta S_j
+    affine = _workspace_buffer(workspace, "affine", n)  # alpha v_j + gamma
+    np.multiply(alpha, v, out=affine)
+    affine += gamma
+    scratch = _workspace_buffer(workspace, "scratch", n)
     for i in range(n - 1, -1, -1):
-        j = np.arange(i, n)
-        cand = (alpha * v[j] + gamma) * suffix[i] + base_j[j] - beta * prefix_fv[i] + U[j + 1]
+        cand = scratch[i:]
+        np.multiply(affine[i:], suffix[i], out=cand)
+        cand += base_j[i:]
+        cand -= beta * prefix_fv[i]
+        cand += U[i + 1 :]
         k = int(np.argmin(cand))
         choice[i] = i + k
         U[i] = float(cand[k])

@@ -27,12 +27,14 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
-    """Split ``seed`` into ``n`` statistically independent generators.
+def spawn_seed_sequences(seed: SeedLike, n: int) -> list[np.random.SeedSequence]:
+    """Split ``seed`` into ``n`` independent child :class:`SeedSequence`\\ s.
 
-    Used by parameter sweeps (e.g. the Table 2 harness) so that each
-    (distribution, heuristic) cell draws from its own stream and results do
-    not depend on evaluation order.
+    These are the *same* children :func:`spawn_generators` wraps in
+    generators, but still in picklable seed form — the process-backend
+    Monte-Carlo path ships them to workers, which reconstruct
+    ``default_rng(child)`` locally and therefore draw the exact streams the
+    in-process thread path would have drawn.
     """
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
@@ -42,4 +44,14 @@ def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
         seq = seed
     else:
         seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(n)]
+    return seq.spawn(n)
+
+
+def spawn_generators(seed: SeedLike, n: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``n`` statistically independent generators.
+
+    Used by parameter sweeps (e.g. the Table 2 harness) so that each
+    (distribution, heuristic) cell draws from its own stream and results do
+    not depend on evaluation order.
+    """
+    return [np.random.default_rng(child) for child in spawn_seed_sequences(seed, n)]

@@ -20,6 +20,8 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.core.bounds import compute_bounds, t1_search_interval
 from repro.core.cost import CostModel
 from repro.core.expectation import expected_cost_direct, expected_cost_series
@@ -33,7 +35,12 @@ from repro.distributions.base import Distribution
 from repro.distributions.exponential import Exponential
 from repro.distributions.uniform import Uniform
 from repro.observability import tracing
-from repro.simulation.monte_carlo import monte_carlo_expected_cost
+from repro.simulation.batch import (
+    ReservationBatch,
+    batch_cost_matrix,
+    batch_expected_costs,
+)
+from repro.simulation.monte_carlo import costs_for_times, monte_carlo_expected_cost
 from repro.strategies.mean_doubling import MeanDoubling
 from repro.utils.rng import SeedLike
 from repro.verification.comparisons import (
@@ -421,6 +428,75 @@ def prop2_exponential_optimum(ctx: OracleContext) -> List[CheckRecord]:
             "E(S_lambda)",
             "E(reference heuristic)",
             agree_upper_bound(closed, heuristic_cost, Tolerance(rtol=1e-9, atol=1e-9)),
+            t0,
+        )
+    )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Batched kernels vs the serial Eq. (13) kernel
+# ----------------------------------------------------------------------
+@register_oracle("batch_vs_serial_kernel")
+def batch_vs_serial_kernel(ctx: OracleContext) -> List[CheckRecord]:
+    """The batched cost kernels against the per-sequence serial kernel.
+
+    Builds a small family of covering sequences (the reference heuristic and
+    scaled variants), draws one shared sample set, and checks that (a) the
+    batched matrix kernel reproduces the looped serial kernel *exactly*
+    (zero tolerance — the batch path is advertised as bit-identical), and
+    (b) the O(S*L) moments kernel's means match the matrix means to float
+    round-off.
+    """
+    d, cm = ctx.distribution, ctx.cost_model
+    n = min(ctx.n_samples, 4000)
+    samples = d.rvs(n, seed=ctx.seed)
+    tmax = float(np.max(samples))
+    reference = np.asarray(ctx.reference_sequence().values, dtype=float)
+    rows = []
+    for scale in (0.75, 1.0, 1.4):
+        row = reference * scale
+        if row[-1] < tmax:
+            row = np.append(row, tmax)
+        rows.append(row)
+    batch = ReservationBatch.from_rows(rows)
+    records = []
+
+    t0 = time.perf_counter()
+    matrix = batch_cost_matrix(batch, samples, cm)
+    looped = np.vstack(
+        [
+            costs_for_times(ReservationSequence(row), samples, cm)
+            for row in rows
+        ]
+    )
+    max_diff = float(np.max(np.abs(matrix - looped)))
+    records.append(
+        _record(
+            ctx,
+            "batch_vs_serial_kernel",
+            "pair",
+            "batch_cost_matrix",
+            "looped costs_for_times",
+            agree_close(max_diff, 0.0, Tolerance(rtol=0.0, atol=0.0)),
+            t0,
+        )
+    )
+
+    t0 = time.perf_counter()
+    moments = batch_expected_costs(batch, samples, cm)
+    mean_err = float(
+        np.max(np.abs(moments.mean_cost - looped.mean(axis=1)))
+    )
+    scale_ref = float(np.max(np.abs(looped.mean(axis=1))))
+    records.append(
+        _record(
+            ctx,
+            "batch_vs_serial_kernel",
+            "pair",
+            "batch_expected_costs.mean",
+            "looped means",
+            agree_close(mean_err, 0.0, Tolerance(rtol=0.0, atol=1e-10 * max(scale_ref, 1.0))),
             t0,
         )
     )

@@ -10,11 +10,13 @@ import pytest
 from repro import observability as obs
 from repro.service.pool import (
     BACKEND_KINDS,
+    AutoBackend,
     PoolError,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     chunk_sizes,
+    effective_cpu_count,
     get_backend,
 )
 
@@ -78,10 +80,20 @@ class TestGetBackend:
             get_backend("fork-bomb", 2)
 
     def test_jobs_leq_one_is_always_serial(self):
+        # "auto" is exempt: its whole job is to make the serial-vs-process
+        # call from the problem size at evaluation time.
         for kind in BACKEND_KINDS:
+            if kind == "auto":
+                continue
             assert isinstance(get_backend(kind, 1), SerialBackend)
         assert isinstance(get_backend(None, 8), SerialBackend)
         assert isinstance(get_backend("serial", 8), SerialBackend)
+
+    def test_auto_kind_returns_auto_backend(self):
+        backend = get_backend("auto", 1)
+        assert isinstance(backend, AutoBackend)
+        assert backend.kind == "auto"
+        assert backend.jobs >= 1
 
     def test_parallel_kinds(self):
         with get_backend("thread", 2) as b:
@@ -161,3 +173,106 @@ class TestMapContract:
             b.map(time.sleep, [0.2, 0.2])
             elapsed = time.perf_counter() - started
         assert elapsed < 0.38
+
+
+# ----------------------------------------------------------------------
+class TestChunkingEdgeCases:
+    """More workers than samples must never produce empty chunks."""
+
+    def test_more_chunks_than_items_collapses(self):
+        for n_items in (1, 2, 3):
+            for n_chunks in (4, 8, 64):
+                sizes = chunk_sizes(n_items, n_chunks)
+                assert len(sizes) == n_items
+                assert all(s == 1 for s in sizes)
+
+    def test_single_item_many_chunks(self):
+        assert chunk_sizes(1, 1000) == [1]
+
+    @pytest.mark.parametrize("jobs", [2, 8])
+    def test_mc_jobs_exceeding_samples(self, jobs):
+        """A parallel MC estimate with jobs > n_samples must still work
+        (every chunk non-empty) and stay deterministic for a fixed seed."""
+        import numpy as np
+
+        from repro.core.cost import CostModel
+        from repro.core.sequence import ReservationSequence
+        from repro.distributions.lognormal import LogNormal
+        from repro.simulation.monte_carlo import monte_carlo_expected_cost
+
+        d = LogNormal(3.0, 0.5)
+        cm = CostModel(alpha=1.0, beta=0.3, gamma=0.1)
+        n_samples = max(jobs // 2, 1)  # strictly fewer samples than workers
+
+        def make_seq():
+            return ReservationSequence(
+                [float(d.quantile(0.5))], extend=lambda cur: float(cur[-1]) * 2.0
+            )
+
+        a = monte_carlo_expected_cost(
+            make_seq(), d, cm, n_samples=n_samples, seed=3, jobs=jobs
+        )
+        b = monte_carlo_expected_cost(
+            make_seq(), d, cm, n_samples=n_samples, seed=3, jobs=jobs
+        )
+        assert a.n_samples == n_samples
+        assert np.isfinite(a.mean_cost)
+        assert a.mean_cost == b.mean_cost
+
+    def test_mc_many_more_jobs_than_sequences(self):
+        from repro.core.cost import CostModel
+        from repro.core.sequence import ReservationSequence
+        from repro.distributions.gamma import Gamma
+        from repro.simulation.batch import monte_carlo_many
+
+        d = Gamma(2.0, 2.0)
+        cm = CostModel.reservation_only()
+        seqs = [
+            ReservationSequence(
+                [float(d.quantile(0.5))], extend=lambda cur: float(cur[-1]) * 2.0
+            )
+        ]
+        results = monte_carlo_many(
+            seqs, d, cm, n_samples=50, seed=0, backend="thread", jobs=8
+        )
+        assert len(results) == 1
+        assert results[0].n_samples == 50
+
+
+# ----------------------------------------------------------------------
+class TestAutoBackend:
+    def test_select_small_problem_is_serial(self):
+        b = AutoBackend(4)
+        assert b.select(10_000, 200_000) == "serial"
+
+    def test_select_needs_multiple_cpus_and_jobs(self):
+        b = AutoBackend(4)
+        expected = "process" if effective_cpu_count() >= 2 else "serial"
+        assert b.select(10_000_000, 200_000) == expected
+        # jobs=1 can never win from a process pool.
+        solo = AutoBackend.__new__(AutoBackend)
+        solo.jobs = 1
+        assert AutoBackend.select(solo, 10_000_000, 200_000) == "serial"
+
+    def test_process_pool_is_lazy_and_shared(self):
+        b = AutoBackend(2)
+        assert b._process is None
+        try:
+            first = b.process_backend()
+            assert isinstance(first, ProcessBackend)
+            assert b.process_backend() is first
+        finally:
+            b.close()
+        assert b._process is None
+
+    def test_map_contract_is_serial(self, registry):
+        b = AutoBackend(2)
+        try:
+            assert b.map(square, [1, 2, 3]) == [1, 4, 9]
+        finally:
+            b.close()
+
+    def test_close_is_idempotent(self):
+        b = AutoBackend(2)
+        b.close()
+        b.close()
