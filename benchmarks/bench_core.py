@@ -179,3 +179,84 @@ def test_mc_batch_grid():
     assert speedup >= 10.0, (
         f"batched grid costing only {speedup:.1f}x over the python loop"
     )
+
+
+def test_spot_eval_batch():
+    """Vectorized spot Monte-Carlo vs a per-path pure-Python simulator.
+
+    Same semantics on both sides — checkpoint segments, single-uniform
+    inverse-transform interruption draws, busy time billed at the constant
+    price — so both must sit on the closed form; the vectorized active-set
+    stepping must keep a >=5x win (guarded in CI off ``BENCH_core.json``).
+    Timed by hand like ``test_mc_batch_grid``: the ratio needs both paths.
+    """
+    import math
+
+    from repro.extensions.spot import expected_spot_time_checkpointed
+    from repro.platforms.spot import ConstantHazard, ConstantPrice, SpotScenario
+    from repro.platforms.spot.evaluator import spot_monte_carlo_cost
+
+    job, rate, price = 2.0, 0.8, 0.3
+    tau, overhead, dt = 0.5, 0.05, 0.05
+    n_paths = 2048
+    scenario = SpotScenario(
+        price=ConstantPrice(price),
+        hazard=ConstantHazard(rate),
+        checkpoint_overhead=overhead,
+        step=dt,
+    )
+    # ceil(job/tau) segments: full ones tau+overhead, final one the leftover.
+    m = math.ceil(job / tau)
+    segments = [tau + overhead] * (m - 1) + [job - (m - 1) * tau]
+
+    def vectorized():
+        return spot_monte_carlo_cost(
+            job,
+            scenario,
+            recovery="checkpoint",
+            checkpoint_interval=tau,
+            n_paths=n_paths,
+            seed=123,
+        )
+
+    def looped():
+        rng = np.random.default_rng(123)
+        total = 0.0
+        for _ in range(n_paths):
+            busy = 0.0
+            for seg_len in segments:
+                rem = seg_len
+                while True:
+                    delta = min(dt, rem)
+                    u = rng.random()
+                    if u < -math.expm1(-rate * delta):
+                        busy += -math.log1p(-u) / rate
+                        rem = seg_len
+                    else:
+                        busy += delta
+                        rem -= delta
+                        if rem <= 0.0:
+                            break
+            total += price * busy
+        return total / n_paths
+
+    # Same numbers before timing: both estimators sit on the closed form.
+    closed = price * expected_spot_time_checkpointed(job, rate, tau, overhead)
+    vec = vectorized()
+    loop_mean = looped()
+    band = 8.0 * vec.std_error
+    assert abs(vec.mean_cost - closed) <= band, (vec.mean_cost, closed)
+    assert abs(loop_mean - closed) <= band, (loop_mean, closed)
+
+    loop_s = _median_time(looped, repeats=3)
+    vec_s = _median_time(vectorized, repeats=5)
+    speedup = loop_s / vec_s if vec_s > 0 else float("inf")
+    _TIMINGS["spot_eval_batch"] = {
+        "n_paths": n_paths,
+        "loop_median_s": loop_s,
+        "vectorized_median_s": vec_s,
+        "speedup": speedup,
+    }
+    assert speedup >= 5.0, (
+        f"vectorized spot evaluator only {speedup:.1f}x over the per-path loop"
+    )

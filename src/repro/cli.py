@@ -90,6 +90,31 @@ def main(argv=None) -> int:
         help="print reservations until this fraction of jobs is covered",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    spot = parser.add_argument_group(
+        "spot tier advice",
+        "compare the plan against spot-market execution (repro.platforms.spot)",
+    )
+    spot.add_argument(
+        "--spot-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="spot interruptions per hour; enables the tier advice footer",
+    )
+    spot.add_argument(
+        "--spot-price",
+        type=float,
+        default=0.3,
+        metavar="PRICE",
+        help="spot price per busy hour (default 0.3; on-demand is alpha)",
+    )
+    spot.add_argument(
+        "--spot-checkpoint-overhead",
+        type=float,
+        default=0.05,
+        metavar="HOURS",
+        help="checkpoint write overhead in hours (default 0.05)",
+    )
     parser.add_argument(
         "--output",
         metavar="FILE",
@@ -219,6 +244,9 @@ def _run(args, registry) -> int:
         f"evaluation {evaluation_s:.3f}s)"
     )
 
+    if args.spot_rate is not None:
+        _print_tier_advice(args, dist, cost_model, strategy, stats.mean)
+
     if args.trace:
         print("\nSpan tree:")
         print(obs.format_span_tree(root))
@@ -258,6 +286,73 @@ def _run(args, registry) -> int:
             fh.write(plan_to_json(doc))
         print(f"\nPlan written to {args.output}")
     return 0
+
+
+def _print_tier_advice(args, dist, cost_model, strategy, reserved_cost) -> None:
+    """Footer comparing the reserved plan against spot-tier execution."""
+    if args.spot_rate < 0:
+        raise SystemExit("--spot-rate must be nonnegative")
+    if args.spot_price <= 0:
+        raise SystemExit("--spot-price must be positive")
+    if args.spot_checkpoint_overhead < 0:
+        raise SystemExit("--spot-checkpoint-overhead must be nonnegative")
+    from repro.platforms.spot import ConstantHazard, ConstantPrice, SpotScenario
+    from repro.strategies.spot_tier import tier_lineup
+
+    scenario = SpotScenario(
+        price=ConstantPrice(args.spot_price),
+        hazard=ConstantHazard(args.spot_rate),
+        checkpoint_overhead=args.spot_checkpoint_overhead,
+    )
+    plans = [
+        s.plan(dist, cost_model, scenario)
+        for s in tier_lineup(strategy, max_segments=8)
+    ]
+    best = min(plans, key=lambda p: p.expected_cost)
+    rows = []
+    for plan in plans:
+        knobs = []
+        if plan.checkpoint_interval is not None:
+            knobs.append(f"tau={plan.checkpoint_interval:.3g}h")
+        if 0.0 < plan.spot_work_cap < float("inf"):
+            knobs.append(f"spot cap={plan.spot_work_cap:.3g}h")
+        rows.append(
+            [
+                plan.strategy,
+                plan.tier,
+                "inf"
+                if plan.expected_cost == float("inf")
+                else f"{plan.expected_cost:.4f}",
+                ", ".join(knobs) or "-",
+                "<- best" if plan is best else "",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["variant", "tier", "expected cost", "knobs", ""],
+            rows,
+            title=(
+                f"Spot tier advice (price {args.spot_price:g}/h, "
+                f"{args.spot_rate:g} interruptions/h, checkpoint "
+                f"{args.spot_checkpoint_overhead:g}h)"
+            ),
+        )
+    )
+    if best.tier == "reserved":
+        verdict = "stay on reservations"
+    elif best.tier == "spot":
+        verdict = "run on spot"
+    else:
+        verdict = (
+            f"spot through the first {best.spot_work_cap:.3g}h of work, "
+            f"then reserve"
+        )
+    saving = reserved_cost - best.expected_cost
+    print(
+        f"Advice: {verdict} "
+        f"(expected saving vs this plan: {max(saving, 0.0):.4f})"
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

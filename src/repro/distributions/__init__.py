@@ -15,6 +15,7 @@ from repro.distributions.fitting import LogNormalFit, fit_lognormal, ks_distance
 from repro.distributions.gamma import Gamma
 from repro.distributions.lognormal import LogNormal, lognormal_from_moments
 from repro.distributions.pareto import Pareto
+from repro.distributions.shifted import ShiftedTail
 from repro.distributions.registry import (
     DISTRIBUTION_FACTORIES,
     PAPER_ORDER,
@@ -39,6 +40,7 @@ __all__ = [
     "Pareto",
     "Uniform",
     "LeftTruncated",
+    "ShiftedTail",
     "Beta",
     "BoundedPareto",
     "DiscreteDistribution",

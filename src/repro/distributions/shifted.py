@@ -1,0 +1,102 @@
+"""Shifted-tail combinator: the law of ``X - u | X > u``.
+
+This is the *remaining work* after a job has verifiably completed ``u``
+hours of it — the information state of a spot-then-reserve handover: the
+spot phase checkpoints through the first ``u`` hours, so the reserved phase
+plans against the leftover work, which is the base law conditioned on
+``X > u`` and translated back to the origin.  (Contrast
+:class:`~repro.distributions.truncated.LeftTruncated`, the law of the
+*total* time ``X | X > c`` after a failed reservation, where no work
+survives.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.distributions.base import Distribution, SupportError
+
+__all__ = ["ShiftedTail"]
+
+
+class ShiftedTail(Distribution):
+    """``X - cut`` conditioned on ``X > cut`` (support starts at 0)."""
+
+    name = "shifted_tail"
+
+    def __init__(self, base: Distribution, cut: float):
+        cut = float(cut)
+        lo, hi = base.support()
+        if cut >= hi:
+            raise SupportError(
+                f"cannot shift {base.describe()} past {cut} >= upper bound {hi}"
+            )
+        if cut < 0:
+            raise ValueError(f"cut must be nonnegative, got {cut}")
+        self.base = base
+        self.cut = cut
+        self._tail = float(base.sf(cut))
+        if self._tail <= 0.0:
+            raise SupportError(
+                f"no probability mass beyond {cut} in {base.describe()}"
+            )
+        self.name = f"{base.name}-{self.cut:g}|>{self.cut:g}"
+        self._check_support()
+
+    def support(self) -> Tuple[float, float]:
+        lo, hi = self.base.support()
+        upper = hi - self.cut if math.isfinite(hi) else math.inf
+        return (max(lo - self.cut, 0.0), upper)
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=float)
+        out = np.where(
+            t > 0.0, np.asarray(self.base.pdf(t + self.cut)) / self._tail, 0.0
+        )
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=float)
+        body = (
+            np.asarray(self.base.cdf(t + self.cut)) - (1.0 - self._tail)
+        ) / self._tail
+        out = np.clip(np.where(t > 0.0, body, 0.0), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def sf(self, t):
+        t = np.asarray(t, dtype=float)
+        body = np.asarray(self.base.sf(t + self.cut)) / self._tail
+        out = np.clip(np.where(t > 0.0, body, 1.0), 0.0, 1.0)
+        return out if out.ndim else float(out)
+
+    def quantile(self, q):
+        q = np.asarray(q, dtype=float)
+        if np.any((q < 0.0) | (q > 1.0)):
+            raise ValueError("quantile argument must lie in [0, 1]")
+        base_q = (1.0 - self._tail) + q * self._tail
+        out = np.maximum(np.asarray(self.base.quantile(base_q)) - self.cut, 0.0)
+        return out if out.ndim else float(out)
+
+    def mean(self) -> float:
+        return self.base.conditional_expectation(self.cut) - self.cut
+
+    def conditional_expectation(self, tau: float) -> float:
+        """Shifting composes with conditioning:
+        ``E[X - u | X - u > tau, X > u] = E[X | X > u + tau] - u``."""
+        return (
+            self.base.conditional_expectation(self.cut + max(float(tau), 0.0))
+            - self.cut
+        )
+
+    def params(self) -> dict:
+        """Nested token: the base law's canonical params plus the cut point."""
+        return {
+            "base": {"law": self.base.name, "params": self.base.params()},
+            "cut": self.cut,
+        }
+
+    def describe(self) -> str:
+        return f"ShiftedTail({self.base.describe()}, cut={self.cut:g})"

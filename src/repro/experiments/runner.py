@@ -173,6 +173,20 @@ def _ext_spot(cfg: ExperimentConfig) -> str:
     return f"{calm}\n\nVolatile market (5 preemptions/h, 0.5 h checkpoints):\n{volatile}"
 
 
+def _spot_market(cfg: ExperimentConfig) -> str:
+    from repro.experiments.spot_market_exp import (
+        format_spot_market_experiment,
+        run_spot_market_experiment,
+    )
+
+    quick = cfg.m_grid < 5000
+    cells = run_spot_market_experiment(
+        mean_hours_sweep=(0.5, 8.0, 72.0) if quick else (0.5, 2.0, 8.0, 24.0, 72.0),
+        config=cfg,
+    )
+    return format_spot_market_experiment(cells)
+
+
 def _pricing(cfg: ExperimentConfig) -> str:
     return format_pricing_experiment(run_pricing_experiment(config=cfg))
 
@@ -206,6 +220,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], str]] = {
     "ext-misspecification": _ext_misspecification,
     "ext-deadline": _ext_deadline,
     "ext-spot": _ext_spot,
+    "spot-market": _spot_market,
 }
 
 

@@ -14,12 +14,15 @@ Closed forms (rate ``lam``, job length ``t``):
 * **restart-from-scratch**: the expected busy time until the first
   uninterrupted window of length ``t`` is ``E[T] = (e^{lam t} - 1)/lam``
   (classical renewal argument: condition on the first interruption).
-* **checkpoint every ``tau``**: the job is ``ceil(t/tau)`` segments, each an
-  independent restart-from-scratch problem of length ``tau`` (+ checkpoint
-  overhead ``C`` per completed segment, written inside the protected
-  window): ``E[T] = m * (e^{lam (tau + C)} - 1)/lam`` with
-  ``m = ceil(t / tau)`` (the last segment conservatively priced like a full
-  one).
+* **checkpoint every ``tau``**: the job is ``m = ceil(t/tau)`` segments,
+  each an independent restart-from-scratch problem.  The first ``m - 1``
+  segments carry a checkpoint written inside the protected window (overhead
+  ``C``), so each costs ``(e^{lam (tau + C)} - 1)/lam``; the *final* segment
+  executes only the leftover work ``t - (m-1) tau`` and writes no checkpoint
+  (the job is done), so it costs ``(e^{lam (t - (m-1) tau)} - 1)/lam``.
+  In particular ``tau >= t`` recovers the restart formula exactly, and as
+  ``tau`` grows toward ``t`` the checkpointed time converges monotonically
+  to it.
 
 Billing: spot time is paid as used at price ``c_spot`` per hour, so the
 expected monetary cost is ``c_spot * E[T]``.
@@ -80,10 +83,16 @@ def expected_spot_time_checkpointed(
     if job_length <= 0:
         return 0.0
     segments = math.ceil(job_length / checkpoint_interval - 1e-12)
-    per_segment = expected_spot_time_restart(
+    full_segments = segments - 1
+    per_full_segment = expected_spot_time_restart(
         checkpoint_interval + checkpoint_overhead, interruption_rate
     )
-    return segments * per_segment
+    # The final segment runs only the leftover work and writes no checkpoint
+    # — the job completes when it does.  Pricing it at its true length makes
+    # tau >= t collapse exactly to expected_spot_time_restart(t).
+    last_length = job_length - full_segments * checkpoint_interval
+    last_segment = expected_spot_time_restart(last_length, interruption_rate)
+    return full_segments * per_full_segment + last_segment
 
 
 def optimal_checkpoint_interval(
@@ -151,28 +160,25 @@ class SpotModel:
     ) -> float:
         """Expected monetary cost with periodic checkpoints.
 
-        The segment count is ``ceil(X / tau)``, whose expectation is the
-        exact sum ``sum_{m >= 0} P(X > m tau)`` — no quadrature against the
-        step-function integrand needed.
+        Delegates to the platform-level quadrature evaluator, which prices
+        the ``ceil(X/tau) - 1`` full segments by the exact survival series
+        ``sum_{k >= 1} P(X > k tau)`` and integrates the true-length final
+        segment per checkpoint window.
         """
         if checkpoint_interval <= 0:
             raise ValueError(
                 f"checkpoint interval must be positive, got {checkpoint_interval}"
             )
-        per_segment = expected_spot_time_restart(
-            checkpoint_interval + checkpoint_overhead, self.interruption_rate
+        # Imported lazily: platforms.spot imports this module's closed forms.
+        from repro.platforms.spot.evaluator import expected_spot_busy_time
+
+        busy = expected_spot_busy_time(
+            distribution,
+            self.interruption_rate,
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_overhead=checkpoint_overhead,
         )
-        expected_segments = 0.0
-        m = 0
-        while True:
-            surv = float(distribution.sf(m * checkpoint_interval))
-            if m > 0 and surv < 1e-12:
-                break
-            expected_segments += surv
-            m += 1
-            if m > 10_000_000:
-                raise RuntimeError("segment series failed to converge")
-        return self.price_per_hour * per_segment * expected_segments
+        return self.price_per_hour * busy
 
 
 def simulate_spot_run(

@@ -48,6 +48,20 @@ MC_BATCH_SHM_BYTES = "mc.batch.shm_bytes"
 #: f"{MC_BATCH_BACKEND_PREFIX}{kind}" for kind in serial/thread/process.
 MC_BATCH_BACKEND_PREFIX = "mc.batch.backend."
 
+# -- spot-market platform (repro.platforms.spot) --------------------------
+SPOT_EVAL_CALLS = "spot.eval_calls"
+SPOT_PATHS = "spot.paths"
+SPOT_STEPS = "spot.steps"
+SPOT_INTERRUPTIONS = "spot.interruptions"
+SPOT_TASKS = "spot.tasks"
+SPOT_EVAL = "spot.eval"
+SPOT_QUADRATURE_CALLS = "spot.quadrature_calls"
+SPOT_PLANS = "spot.plans"
+#: Static prefix of the per-kind backend-selection counters (a
+#: DYNAMIC_PREFIXES family); full names are built as
+#: f"{SPOT_BACKEND_PREFIX}{kind}" for kind in serial/thread/process/auto.
+SPOT_BACKEND_PREFIX = "spot.backend."
+
 # -- Eq. (11) grid recurrence ---------------------------------------------
 RECURRENCE_GRID_CANDIDATES = "recurrence.grid_candidates"
 RECURRENCE_GRID_STEPS = "recurrence.grid_steps"
@@ -131,6 +145,7 @@ DYNAMIC_PREFIXES = (
     "resilience.fault.",       # one counter per fault-injection site
     "resilience.evaluator.",   # one counter per degradation-ladder rung
     "mc.batch.backend.",       # one counter per selected batch backend kind
+    "spot.backend.",           # one counter per selected spot backend kind
 )
 
 

@@ -1,5 +1,7 @@
 """Platform models: cloud RESERVATIONONLY and HPC NEUROHPC (Section 5),
-plus the wait-time fitting and synthetic-trace substrates."""
+plus the wait-time fitting and synthetic-trace substrates, and the
+spot-market platform (stochastic prices + interruptions) in
+:mod:`repro.platforms.spot`."""
 
 from repro.platforms.neurohpc import (
     NeuroHPCPlatform,
@@ -9,6 +11,20 @@ from repro.platforms.neurohpc import (
 from repro.platforms.reservation_only import (
     PricingComparison,
     ReservationOnlyPlatform,
+)
+from repro.platforms.spot import (
+    ConstantHazard,
+    ConstantPrice,
+    LinearPriceHazard,
+    OUPriceProcess,
+    PriceProcess,
+    RegimeSwitchingPrice,
+    SpotCostResult,
+    SpotScenario,
+    TracePrice,
+    expected_spot_busy_time,
+    expected_spot_cost,
+    spot_monte_carlo_cost,
 )
 from repro.platforms.traces import (
     FMRIQA_PARAMS,
@@ -41,4 +57,16 @@ __all__ = [
     "synthesize_queue_log",
     "fit_wait_time",
     "INTREPID_409_MODEL",
+    "PriceProcess",
+    "ConstantPrice",
+    "OUPriceProcess",
+    "RegimeSwitchingPrice",
+    "TracePrice",
+    "ConstantHazard",
+    "LinearPriceHazard",
+    "SpotScenario",
+    "SpotCostResult",
+    "spot_monte_carlo_cost",
+    "expected_spot_busy_time",
+    "expected_spot_cost",
 ]

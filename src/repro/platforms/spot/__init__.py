@@ -1,0 +1,62 @@
+"""Spot-market platform: stochastic prices, interruptions, tiered costing.
+
+The paper's RESERVATIONONLY platform sells capacity at a fixed price and
+never revokes it.  Real clouds also sell *spot* capacity: deeply discounted,
+priced by a stochastic process, and interruptible.  This package makes spot
+a first-class scenario next to :class:`~repro.platforms.ReservationOnlyPlatform`:
+
+* :mod:`~repro.platforms.spot.price` — ``PriceProcess`` protocol plus
+  constant, Ornstein--Uhlenbeck, 2-state regime-switching, and trace-driven
+  replay models, all seeded through ``utils.rng``.
+* :mod:`~repro.platforms.spot.hazard` — interruption-hazard models, either
+  constant (the memoryless closed-form regime of ``extensions/spot.py``) or
+  price-dependent (high price -> more preemption pressure).
+* :mod:`~repro.platforms.spot.evaluator` — interruption-aware expected-cost
+  evaluation: a vectorized, backend-invariant Monte-Carlo path integrator
+  (cost accrues along the realized price path) and a closed-form/quadrature
+  path for the constant-price memoryless case that agrees with the
+  ``expected_spot_time_restart``/``expected_spot_time_checkpointed``
+  closed forms.
+
+Strategy variants that pick reservation length *and* tier live in
+:mod:`repro.strategies.spot_tier`; the volatility/interruption/overhead sweep
+is the ``spot-market`` experiment.  See ``docs/SPOT.md``.
+"""
+
+from repro.platforms.spot.evaluator import (
+    SPOT_AUTO_PROCESS_MIN_PATHS,
+    SpotCostResult,
+    SpotScenario,
+    expected_spot_busy_time,
+    expected_spot_cost,
+    spot_monte_carlo_cost,
+)
+from repro.platforms.spot.hazard import (
+    ConstantHazard,
+    HazardModel,
+    LinearPriceHazard,
+)
+from repro.platforms.spot.price import (
+    ConstantPrice,
+    OUPriceProcess,
+    PriceProcess,
+    RegimeSwitchingPrice,
+    TracePrice,
+)
+
+__all__ = [
+    "PriceProcess",
+    "ConstantPrice",
+    "OUPriceProcess",
+    "RegimeSwitchingPrice",
+    "TracePrice",
+    "HazardModel",
+    "ConstantHazard",
+    "LinearPriceHazard",
+    "SpotScenario",
+    "SpotCostResult",
+    "spot_monte_carlo_cost",
+    "expected_spot_busy_time",
+    "expected_spot_cost",
+    "SPOT_AUTO_PROCESS_MIN_PATHS",
+]

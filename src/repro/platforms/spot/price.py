@@ -1,0 +1,317 @@
+"""Spot price processes.
+
+Every model implements the :class:`PriceProcess` protocol:
+
+* ``initial_prices(n, rng)`` — a stationary (or configured) draw of ``n``
+  starting prices;
+* ``step(prices, t, dt, rng)`` — advance a vector of prices one wall-clock
+  step (exact transition where one exists, so accuracy does not depend on
+  ``dt``);
+* ``stationary_mean()`` — the long-run mean price, used by planners as the
+  certainty-equivalent price;
+* ``expected_price(t0, t1)`` — the time-averaged expected price over an
+  interval, starting from the configured initial condition;
+* ``sample_path(n_steps, dt, seed)`` — convenience single-path simulation.
+
+All randomness flows through ``utils.rng`` seeds; two processes stepped with
+generators spawned from the same ``SeedSequence`` produce identical paths on
+any backend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+__all__ = [
+    "PriceProcess",
+    "ConstantPrice",
+    "OUPriceProcess",
+    "RegimeSwitchingPrice",
+    "TracePrice",
+]
+
+
+@runtime_checkable
+class PriceProcess(Protocol):
+    """Protocol shared by every spot price model."""
+
+    def initial_prices(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` starting prices."""
+        ...  # pragma: no cover - protocol
+
+    def step(
+        self, prices: np.ndarray, t: float, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Advance ``prices`` from wall-clock ``t`` to ``t + dt``."""
+        ...  # pragma: no cover - protocol
+
+    def stationary_mean(self) -> float:
+        """Long-run mean price (the planner's certainty-equivalent price)."""
+        ...  # pragma: no cover - protocol
+
+    def expected_price(self, t0: float, t1: float) -> float:
+        """Time-averaged expected price over ``[t0, t1]``."""
+        ...  # pragma: no cover - protocol
+
+
+def _check_interval(t0: float, t1: float) -> None:
+    if t0 < 0 or t1 <= t0:
+        raise ValueError(f"need 0 <= t0 < t1, got [{t0}, {t1}]")
+
+
+class _PathMixin:
+    """Shared ``sample_path`` built on ``initial_prices``/``step``."""
+
+    def sample_path(
+        self, n_steps: int, dt: float, seed: SeedLike = None
+    ) -> np.ndarray:
+        """One simulated path of ``n_steps + 1`` prices on the ``dt`` grid."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be nonnegative, got {n_steps}")
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        rng = as_generator(seed)
+        prices = self.initial_prices(1, rng)  # type: ignore[attr-defined]
+        out = np.empty(n_steps + 1, dtype=float)
+        out[0] = prices[0]
+        t = 0.0
+        for i in range(n_steps):
+            prices = self.step(prices, t, dt, rng)  # type: ignore[attr-defined]
+            out[i + 1] = prices[0]
+            t += dt
+        return out
+
+
+@dataclass(frozen=True)
+class ConstantPrice(_PathMixin):
+    """Fixed price — the degenerate process behind all closed forms."""
+
+    price: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValueError(f"price must be positive, got {self.price}")
+
+    def initial_prices(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.price, dtype=float)
+
+    def step(
+        self, prices: np.ndarray, t: float, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        return prices
+
+    def stationary_mean(self) -> float:
+        return self.price
+
+    def expected_price(self, t0: float, t1: float) -> float:
+        _check_interval(t0, t1)
+        return self.price
+
+
+@dataclass(frozen=True)
+class OUPriceProcess(_PathMixin):
+    """Mean-reverting Ornstein--Uhlenbeck price.
+
+    ``dp = reversion * (mean - p) dt + volatility dW``, stepped with the
+    exact Gaussian transition so any ``dt`` is unbiased:
+
+    ``p' = mean + (p - mean) e^{-theta dt} + volatility
+    sqrt((1 - e^{-2 theta dt}) / (2 theta)) N(0, 1)``.
+
+    Prices are floored at ``floor`` (clouds never pay you to compute), which
+    slightly lifts the realized mean above ``mean`` when the volatility is
+    large relative to it; with ``volatility = 0`` the process is exactly the
+    deterministic relaxation toward ``mean``, and with ``p0 = mean`` it
+    degenerates to :class:`ConstantPrice` — the closed-form regime.
+    """
+
+    mean: float = 0.3
+    reversion: float = 1.0
+    volatility: float = 0.05
+    p0: Optional[float] = None
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ValueError(f"mean price must be positive, got {self.mean}")
+        if self.reversion <= 0:
+            raise ValueError(f"reversion must be positive, got {self.reversion}")
+        if self.volatility < 0:
+            raise ValueError(f"volatility must be nonnegative, got {self.volatility}")
+        if self.p0 is not None and self.p0 < self.floor:
+            raise ValueError(f"p0 must be >= floor, got {self.p0} < {self.floor}")
+        if self.floor < 0:
+            raise ValueError(f"floor must be nonnegative, got {self.floor}")
+
+    def _start(self) -> float:
+        return self.mean if self.p0 is None else self.p0
+
+    def initial_prices(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self._start(), dtype=float)
+
+    def step(
+        self, prices: np.ndarray, t: float, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        decay = math.exp(-self.reversion * dt)
+        drifted = self.mean + (prices - self.mean) * decay
+        if self.volatility > 0.0:
+            spread = self.volatility * math.sqrt(
+                -math.expm1(-2.0 * self.reversion * dt) / (2.0 * self.reversion)
+            )
+            drifted = drifted + spread * rng.standard_normal(prices.shape)
+        return np.maximum(drifted, self.floor)
+
+    def stationary_mean(self) -> float:
+        return self.mean
+
+    def expected_price(self, t0: float, t1: float) -> float:
+        """Time average of ``E[p(s)] = mean + (p0 - mean) e^{-theta s}``
+        (the un-floored process; exact when the floor is rarely hit)."""
+        _check_interval(t0, t1)
+        theta = self.reversion
+        gap = self._start() - self.mean
+        transient = gap * (math.exp(-theta * t0) - math.exp(-theta * t1)) / (
+            theta * (t1 - t0)
+        )
+        return self.mean + transient
+
+
+@dataclass(frozen=True)
+class RegimeSwitchingPrice(_PathMixin):
+    """2-state continuous-time Markov chain between a calm low price and a
+    contended high price.
+
+    ``rate_up`` is the low -> high switching rate, ``rate_down`` the
+    high -> low rate (both per hour).  The state *is* the price, so the
+    stationary law is ``P(high) = rate_up / (rate_up + rate_down)``.
+    Steps flip each path independently with the exact one-jump probability
+    ``1 - e^{-rate dt}`` — accurate for ``dt`` small against the switching
+    times (double flips within a step are dropped).
+    """
+
+    low_price: float = 0.25
+    high_price: float = 0.75
+    rate_up: float = 0.2
+    rate_down: float = 0.8
+    start_high: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low_price <= 0 or self.high_price <= self.low_price:
+            raise ValueError(
+                f"need 0 < low < high, got {self.low_price}, {self.high_price}"
+            )
+        if self.rate_up < 0 or self.rate_down < 0:
+            raise ValueError("switching rates must be nonnegative")
+
+    def _pi_high(self) -> float:
+        total = self.rate_up + self.rate_down
+        if total == 0.0:
+            return 1.0 if self.start_high else 0.0
+        return self.rate_up / total
+
+    def initial_prices(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        start = self.high_price if self.start_high else self.low_price
+        return np.full(n, start, dtype=float)
+
+    def step(
+        self, prices: np.ndarray, t: float, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        is_high = prices > 0.5 * (self.low_price + self.high_price)
+        flip_prob = np.where(
+            is_high, -np.expm1(-self.rate_down * dt), -np.expm1(-self.rate_up * dt)
+        )
+        flip = rng.random(prices.shape) < flip_prob
+        return np.where(
+            flip ^ is_high, self.high_price, self.low_price
+        ).astype(float)
+
+    def stationary_mean(self) -> float:
+        pi = self._pi_high()
+        return self.low_price + (self.high_price - self.low_price) * pi
+
+    def expected_price(self, t0: float, t1: float) -> float:
+        """Exact time average of ``E[p(s)]`` from the configured start state:
+        ``P(high at s) = pi + (1{start high} - pi) e^{-(ru + rd) s}``."""
+        _check_interval(t0, t1)
+        pi = self._pi_high()
+        total = self.rate_up + self.rate_down
+        start = 1.0 if self.start_high else 0.0
+        if total == 0.0:
+            avg_high = start
+        else:
+            transient = (start - pi) * (
+                math.exp(-total * t0) - math.exp(-total * t1)
+            ) / (total * (t1 - t0))
+            avg_high = pi + transient
+        return self.low_price + (self.high_price - self.low_price) * avg_high
+
+
+class TracePrice(_PathMixin):
+    """Trace-driven replay: a recorded price series on a fixed grid,
+    held piecewise-constant and replayed cyclically.
+
+    Deterministic given the trace — the ``rng`` arguments are accepted for
+    protocol conformance and never drawn from.
+    """
+
+    name = "trace"
+
+    def __init__(self, prices, trace_dt: float) -> None:
+        arr = np.asarray(prices, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("trace must be a nonempty 1-D price series")
+        if np.any(arr <= 0) or not np.all(np.isfinite(arr)):
+            raise ValueError("trace prices must be positive and finite")
+        if trace_dt <= 0:
+            raise ValueError(f"trace_dt must be positive, got {trace_dt}")
+        self.prices = arr
+        self.trace_dt = float(trace_dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TracePrice(n={self.prices.size}, trace_dt={self.trace_dt}, "
+            f"mean={self.stationary_mean():.4g})"
+        )
+
+    def price_at(self, t: float) -> float:
+        """The replayed price at wall-clock ``t`` (cyclic, left-continuous)."""
+        if t < 0:
+            raise ValueError(f"time must be nonnegative, got {t}")
+        idx = int(t / self.trace_dt) % self.prices.size
+        return float(self.prices[idx])
+
+    def initial_prices(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.prices[0], dtype=float)
+
+    def step(
+        self, prices: np.ndarray, t: float, dt: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.full(prices.shape, self.price_at(t + dt), dtype=float)
+
+    def stationary_mean(self) -> float:
+        return float(self.prices.mean())
+
+    def expected_price(self, t0: float, t1: float) -> float:
+        """Exact time average of the piecewise-constant replay over
+        ``[t0, t1]`` (integrates partial cells at both ends)."""
+        _check_interval(t0, t1)
+        period = self.trace_dt * self.prices.size
+        # Reduce to less than one period plus whole periods.
+        whole, span = divmod(t1 - t0, period)
+        total = whole * period * self.stationary_mean()
+        t = t0 % period
+        remaining = span
+        while remaining > 1e-15 * max(period, 1.0):
+            idx = int(t / self.trace_dt) % self.prices.size
+            cell_end = (idx + 1) * self.trace_dt
+            chunk = min(cell_end - t, remaining)
+            total += chunk * float(self.prices[idx])
+            remaining -= chunk
+            t = cell_end % period
+        return total / (t1 - t0)

@@ -23,6 +23,15 @@ from repro.strategies.registry import (
     make_strategy,
     paper_strategies,
 )
+from repro.strategies.spot_tier import (
+    ReserveOnly,
+    SpotOnly,
+    SpotThenReserve,
+    TierPlan,
+    TierStrategy,
+    choose_tier,
+    tier_lineup,
+)
 
 __all__ = [
     "Strategy",
@@ -43,4 +52,11 @@ __all__ = [
     "PAPER_STRATEGY_ORDER",
     "make_strategy",
     "paper_strategies",
+    "TierPlan",
+    "TierStrategy",
+    "ReserveOnly",
+    "SpotOnly",
+    "SpotThenReserve",
+    "choose_tier",
+    "tier_lineup",
 ]

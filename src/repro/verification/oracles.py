@@ -504,6 +504,130 @@ def batch_vs_serial_kernel(ctx: OracleContext) -> List[CheckRecord]:
 
 
 # ----------------------------------------------------------------------
+# Spot-market evaluator vs extensions/spot.py closed forms
+# ----------------------------------------------------------------------
+@register_oracle("spot_mc_vs_closed_form")
+def spot_mc_vs_closed_form(ctx: OracleContext) -> List[CheckRecord]:
+    """The interruption-aware MC evaluator against the memoryless
+    constant-price closed forms.
+
+    Three pairings, all in the OU-volatility-0 / constant-hazard limit where
+    the closed forms are exact (the MC stepping draws interruption times by
+    exact inverse transform, so these are z-score checks, not
+    discretization-tolerance checks):
+
+    * fixed-length restart vs ``price * expected_spot_time_restart``;
+    * fixed-length checkpointed vs ``price * expected_spot_time_checkpointed``
+      (true-length final segment on both sides);
+    * marginalized checkpointed over the law vs the quadrature evaluator
+      ``expected_spot_cost``.
+
+    Spot pricing is orthogonal to the reservation cost model, so the oracle
+    runs once per law — on the RESERVATIONONLY cells only.
+    """
+    if not ctx.cost_model.is_reservation_only:
+        return []
+    from repro.extensions.spot import (
+        expected_spot_time_checkpointed,
+        expected_spot_time_restart,
+    )
+    from repro.platforms.spot import (
+        ConstantHazard,
+        OUPriceProcess,
+        SpotScenario,
+        expected_spot_cost,
+        spot_monte_carlo_cost,
+    )
+
+    d = ctx.distribution
+    t_med = float(d.quantile(0.5))
+    price = 0.3
+    rate = 0.5 / t_med
+    n_paths = max(1000, ctx.n_samples // 5)
+    # Volatility 0 exercises the OU stepping code in its degenerate limit.
+    process = OUPriceProcess(mean=price, reversion=1.0, volatility=0.0)
+    tau = t_med / 3.0
+    overhead = 0.1 * tau
+    records = []
+
+    t0 = time.perf_counter()
+    scenario = SpotScenario(
+        price=process,
+        hazard=ConstantHazard(rate),
+        checkpoint_overhead=0.0,
+        step=t_med / 48.0,
+    )
+    mc = spot_monte_carlo_cost(
+        t_med, scenario, recovery="restart", n_paths=n_paths, seed=ctx.seed
+    )
+    closed = price * expected_spot_time_restart(t_med, rate)
+    records.append(
+        _record(
+            ctx,
+            "spot_mc_vs_closed_form",
+            "pair",
+            "spot MC restart (fixed length)",
+            "price * expected_spot_time_restart",
+            agree_within_ci(mc.mean_cost, mc.std_error, closed, z=ctx.mc_z),
+            t0,
+        )
+    )
+
+    t0 = time.perf_counter()
+    scenario_ckpt = SpotScenario(
+        price=process,
+        hazard=ConstantHazard(rate),
+        checkpoint_overhead=overhead,
+        step=t_med / 48.0,
+    )
+    mc = spot_monte_carlo_cost(
+        t_med,
+        scenario_ckpt,
+        recovery="checkpoint",
+        checkpoint_interval=tau,
+        n_paths=n_paths,
+        seed=ctx.seed,
+    )
+    closed = price * expected_spot_time_checkpointed(t_med, rate, tau, overhead)
+    records.append(
+        _record(
+            ctx,
+            "spot_mc_vs_closed_form",
+            "pair",
+            "spot MC checkpointed (fixed length)",
+            "price * expected_spot_time_checkpointed",
+            agree_within_ci(mc.mean_cost, mc.std_error, closed, z=ctx.mc_z),
+            t0,
+        )
+    )
+
+    t0 = time.perf_counter()
+    mc = spot_monte_carlo_cost(
+        d,
+        scenario_ckpt,
+        recovery="checkpoint",
+        checkpoint_interval=tau,
+        n_paths=n_paths,
+        seed=ctx.seed,
+    )
+    quad = expected_spot_cost(
+        d, price, rate, checkpoint_interval=tau, checkpoint_overhead=overhead
+    )
+    records.append(
+        _record(
+            ctx,
+            "spot_mc_vs_closed_form",
+            "pair",
+            "spot MC checkpointed (marginalized)",
+            "expected_spot_cost quadrature",
+            agree_within_ci(mc.mean_cost, mc.std_error, quad, z=ctx.mc_z),
+            t0,
+        )
+    )
+    return records
+
+
+# ----------------------------------------------------------------------
 # Driver helpers
 # ----------------------------------------------------------------------
 def run_oracle(name: str, ctx: OracleContext) -> List[CheckRecord]:

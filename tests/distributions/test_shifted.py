@@ -1,0 +1,98 @@
+"""Tests for the ShiftedTail combinator (the law of ``X - u | X > u``)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro import Exponential, LogNormal, Uniform
+from repro.distributions import ShiftedTail
+from repro.distributions.base import SupportError
+from repro.distributions.truncated import LeftTruncated
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(SupportError):
+            ShiftedTail(Uniform(0.0, 1.0), 1.0)
+        with pytest.raises(SupportError):
+            ShiftedTail(Uniform(0.0, 1.0), 2.0)
+        with pytest.raises(ValueError):
+            ShiftedTail(LogNormal(0.0, 0.5), -0.5)
+
+    def test_support_starts_at_zero(self):
+        d = ShiftedTail(LogNormal(0.0, 0.5), 1.0)
+        assert d.support() == (0.0, math.inf)
+        lo, hi = ShiftedTail(Uniform(2.0, 5.0), 3.0).support()
+        assert lo == 0.0 and hi == pytest.approx(2.0)
+
+    def test_params_are_nested(self):
+        base = LogNormal(0.0, 0.5)
+        d = ShiftedTail(base, 1.5)
+        token = d.params()
+        assert token["cut"] == 1.5
+        assert token["base"]["law"] == base.name
+        assert "ShiftedTail" in d.describe()
+
+
+class TestLaw:
+    def test_sf_is_the_conditional_tail(self):
+        base = LogNormal(0.0, 0.5)
+        d = ShiftedTail(base, 1.0)
+        for t in (0.1, 0.5, 2.0):
+            assert d.sf(t) == pytest.approx(base.sf(t + 1.0) / base.sf(1.0))
+            assert d.cdf(t) == pytest.approx(1.0 - d.sf(t), abs=1e-12)
+        assert d.cdf(0.0) == 0.0
+        assert d.sf(0.0) == 1.0
+
+    def test_pdf_normalizes(self):
+        d = ShiftedTail(LogNormal(0.0, 0.5), 1.0)
+        mass, _ = integrate.quad(d.pdf, 0.0, float(d.quantile(1.0 - 1e-12)))
+        assert mass == pytest.approx(1.0, rel=1e-6)
+
+    def test_quantile_roundtrip(self):
+        d = ShiftedTail(LogNormal(0.2, 0.6), 0.8)
+        for q in (0.05, 0.3, 0.5, 0.9, 0.99):
+            assert d.cdf(d.quantile(q)) == pytest.approx(q, abs=1e-9)
+        assert d.quantile(0.0) == 0.0
+
+    def test_memorylessness_of_exponential(self):
+        # Exp is the fixed point: shifting its tail gives the law back.
+        base = Exponential(1.3)
+        d = ShiftedTail(base, 2.0)
+        ts = np.linspace(0.1, 4.0, 17)
+        np.testing.assert_allclose(d.sf(ts), base.sf(ts), rtol=1e-10)
+        assert d.mean() == pytest.approx(base.mean(), rel=1e-9)
+
+    def test_mean_matches_sf_integral(self):
+        d = ShiftedTail(LogNormal(0.0, 0.5), 1.0)
+        numeric, _ = integrate.quad(d.sf, 0.0, float(d.quantile(1.0 - 1e-12)))
+        assert d.mean() == pytest.approx(numeric, rel=1e-6)
+
+    def test_conditional_expectation_composes(self):
+        base = LogNormal(0.3, 0.5)
+        cut, tau = 1.2, 0.7
+        d = ShiftedTail(base, cut)
+        assert d.conditional_expectation(tau) == pytest.approx(
+            base.conditional_expectation(cut + tau) - cut
+        )
+        assert d.conditional_expectation(0.0) == pytest.approx(d.mean())
+
+    def test_contrast_with_left_truncated(self):
+        # LeftTruncated keeps the total time X | X > c; ShiftedTail is the
+        # leftover work — the same conditional law translated by the cut.
+        base = LogNormal(0.0, 0.5)
+        cut = 1.0
+        shifted = ShiftedTail(base, cut)
+        truncated = LeftTruncated(base, cut)
+        assert shifted.mean() == pytest.approx(truncated.mean() - cut, rel=1e-9)
+        for t in (0.2, 0.9, 3.0):
+            assert shifted.sf(t) == pytest.approx(truncated.sf(t + cut), rel=1e-9)
+
+    def test_rvs_sampling_agrees(self):
+        d = ShiftedTail(LogNormal(0.0, 0.5), 1.0)
+        samples = d.rvs(20_000, seed=4)
+        assert np.all(samples >= 0.0)
+        se = samples.std() / math.sqrt(samples.size)
+        assert samples.mean() == pytest.approx(d.mean(), abs=5 * se)

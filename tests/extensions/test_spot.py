@@ -56,13 +56,40 @@ class TestRestartFormula:
 
 class TestCheckpointedFormula:
     def test_segment_count(self):
-        # 5 hours in 2-hour segments -> 3 segments.
+        # 5 hours in 2-hour segments -> two full segments plus a 1h tail;
+        # the final partial segment is priced at its true length, not tau.
         lam = 0.0
         got = expected_spot_time_checkpointed(5.0, lam, 2.0, checkpoint_overhead=0.0)
-        assert got == pytest.approx(3 * 2.0)
+        assert got == pytest.approx(2 * 2.0 + 1.0)
 
     def test_zero_length_job(self):
         assert expected_spot_time_checkpointed(0.0, 1.0, 1.0) == 0.0
+
+    def test_tau_beyond_job_is_restart(self):
+        # A single segment never checkpoints: tau >= t collapses exactly
+        # to the restart formula (no trailing checkpoint, no overhead).
+        lam, t = 0.7, 3.0
+        restart = expected_spot_time_restart(t, lam)
+        for tau in (t, 1.5 * t, 100.0):
+            assert expected_spot_time_checkpointed(t, lam, tau, 0.3) == restart
+
+    def test_monotone_convergence_to_restart(self):
+        # Regression for the conservative last-segment overpricing: with
+        # zero overhead the cost must rise monotonically toward the
+        # restart value as tau -> t (checkpoints only ever help), hitting
+        # it exactly at tau = t.  The old ceil-priced final segment made
+        # this curve non-monotone (jumps at every divisor of t).
+        lam, t = 0.9, 4.0
+        restart = expected_spot_time_restart(t, lam)
+        taus = np.linspace(0.25, t, 40)
+        values = [
+            expected_spot_time_checkpointed(t, lam, float(tau), 0.0)
+            for tau in taus
+        ]
+        diffs = np.diff(values)
+        assert np.all(diffs >= -1e-9)
+        assert values[-1] == pytest.approx(restart, rel=1e-12)
+        assert values[0] < restart
 
     def test_checkpointing_beats_restart_for_long_jobs(self):
         lam, t = 0.5, 20.0

@@ -1,0 +1,218 @@
+"""Tests for the spot price processes (platforms.spot.price)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.platforms.spot import (
+    ConstantPrice,
+    OUPriceProcess,
+    PriceProcess,
+    RegimeSwitchingPrice,
+    TracePrice,
+)
+from repro.utils.rng import as_generator
+
+
+ALL_MODELS = [
+    ConstantPrice(0.3),
+    OUPriceProcess(mean=0.3, reversion=1.0, volatility=0.05),
+    RegimeSwitchingPrice(),
+    TracePrice([0.2, 0.4, 0.3], trace_dt=1.0),
+]
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_conforms(self, model):
+        assert isinstance(model, PriceProcess)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_step_shape_and_positivity(self, model):
+        rng = as_generator(0)
+        prices = model.initial_prices(64, rng)
+        assert prices.shape == (64,)
+        stepped = model.step(prices, 0.0, 0.1, rng)
+        assert stepped.shape == (64,)
+        assert np.all(stepped >= 0.0)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_expected_price_validation(self, model):
+        with pytest.raises(ValueError):
+            model.expected_price(1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.expected_price(-0.5, 1.0)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__)
+    def test_sample_path_seed_determinism(self, model):
+        a = model.sample_path(50, 0.1, seed=7)
+        b = model.sample_path(50, 0.1, seed=7)
+        assert a.shape == (51,)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_path_validation(self):
+        with pytest.raises(ValueError):
+            ConstantPrice(0.3).sample_path(-1, 0.1)
+        with pytest.raises(ValueError):
+            ConstantPrice(0.3).sample_path(10, 0.0)
+
+
+class TestConstantPrice:
+    def test_everything_is_the_price(self):
+        model = ConstantPrice(0.42)
+        assert model.stationary_mean() == 0.42
+        assert model.expected_price(0.0, 5.0) == 0.42
+        path = model.sample_path(20, 0.5, seed=0)
+        np.testing.assert_array_equal(path, np.full(21, 0.42))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantPrice(0.0)
+
+
+class TestOUPriceProcess:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OUPriceProcess(mean=0.0)
+        with pytest.raises(ValueError):
+            OUPriceProcess(reversion=0.0)
+        with pytest.raises(ValueError):
+            OUPriceProcess(volatility=-0.1)
+        with pytest.raises(ValueError):
+            OUPriceProcess(floor=-0.1)
+        with pytest.raises(ValueError):
+            OUPriceProcess(p0=0.1, floor=0.2)
+
+    def test_zero_volatility_from_mean_is_constant(self):
+        ou = OUPriceProcess(mean=0.3, reversion=1.0, volatility=0.0)
+        path = ou.sample_path(30, 0.25, seed=3)
+        np.testing.assert_array_equal(path, np.full(31, 0.3))
+
+    def test_zero_volatility_relaxation_is_exact(self):
+        # With vol = 0 the exact transition is the deterministic relaxation
+        # p(t) = mean + (p0 - mean) e^{-theta t}, independent of dt.
+        ou = OUPriceProcess(mean=0.3, reversion=2.0, volatility=0.0, p0=0.6)
+        dt = 0.2
+        path = ou.sample_path(25, dt, seed=0)
+        times = dt * np.arange(26)
+        expect = 0.3 + 0.3 * np.exp(-2.0 * times)
+        np.testing.assert_allclose(path, expect, rtol=1e-12)
+
+    def test_expected_price_matches_relaxation_average(self):
+        ou = OUPriceProcess(mean=0.3, reversion=2.0, volatility=0.0, p0=0.6)
+        t0, t1 = 0.25, 1.75
+        grid = np.linspace(t0, t1, 20_001)
+        numeric = np.trapezoid(0.3 + 0.3 * np.exp(-2.0 * grid), grid) / (t1 - t0)
+        assert ou.expected_price(t0, t1) == pytest.approx(numeric, rel=1e-7)
+
+    def test_stationary_spread(self):
+        # One exact transition over a long dt is a draw from the stationary
+        # Gaussian N(mean, vol^2 / (2 theta)); the floor is ~8 sigma away.
+        ou = OUPriceProcess(mean=0.3, reversion=1.0, volatility=0.05)
+        rng = as_generator(11)
+        prices = ou.step(ou.initial_prices(40_000, rng), 0.0, 50.0, rng)
+        sigma = 0.05 / math.sqrt(2.0)
+        assert prices.mean() == pytest.approx(0.3, abs=5 * sigma / 200.0)
+        assert prices.std() == pytest.approx(sigma, rel=0.05)
+
+    def test_floor_is_enforced(self):
+        ou = OUPriceProcess(mean=0.05, reversion=0.5, volatility=0.5, floor=0.01)
+        rng = as_generator(5)
+        prices = ou.initial_prices(2000, rng)
+        for _ in range(20):
+            prices = ou.step(prices, 0.0, 0.5, rng)
+        assert np.all(prices >= 0.01)
+
+
+class TestRegimeSwitchingPrice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegimeSwitchingPrice(low_price=0.5, high_price=0.4)
+        with pytest.raises(ValueError):
+            RegimeSwitchingPrice(rate_up=-1.0)
+
+    def test_stationary_mean(self):
+        model = RegimeSwitchingPrice(
+            low_price=0.2, high_price=0.8, rate_up=1.0, rate_down=3.0
+        )
+        # pi_high = 1 / (1 + 3) = 0.25.
+        assert model.stationary_mean() == pytest.approx(0.2 + 0.6 * 0.25)
+
+    def test_prices_stay_on_the_two_levels(self):
+        model = RegimeSwitchingPrice(low_price=0.25, high_price=0.75)
+        path = model.sample_path(200, 0.1, seed=9)
+        assert set(np.unique(path)) <= {0.25, 0.75}
+
+    def test_expected_price_converges_to_stationary(self):
+        model = RegimeSwitchingPrice(
+            low_price=0.2, high_price=0.8, rate_up=0.5, rate_down=1.5
+        )
+        long_avg = model.expected_price(0.0, 500.0)
+        assert long_avg == pytest.approx(model.stationary_mean(), rel=1e-2)
+        # Starting low, a short horizon sits below the stationary mean.
+        assert model.expected_price(0.0, 0.1) < model.stationary_mean()
+
+    def test_transient_high_probability_statistically(self):
+        model = RegimeSwitchingPrice(
+            low_price=0.2, high_price=0.8, rate_up=0.6, rate_down=1.4
+        )
+        rng = as_generator(21)
+        n, dt, steps = 20_000, 0.05, 40  # observe at t = 2.0
+        prices = model.initial_prices(n, rng)
+        for i in range(steps):
+            prices = model.step(prices, i * dt, dt, rng)
+        frac_high = float(np.mean(prices > 0.5))
+        total = 0.6 + 1.4
+        pi = 0.6 / total
+        expect = pi + (0.0 - pi) * math.exp(-total * steps * dt)
+        se = math.sqrt(expect * (1.0 - expect) / n)
+        # dt is small against the switching times but the one-jump stepping
+        # still drops double flips, so allow a small discretization slack.
+        assert abs(frac_high - expect) < 5 * se + 0.01
+
+    def test_frozen_rates_pin_the_start_state(self):
+        model = RegimeSwitchingPrice(rate_up=0.0, rate_down=0.0, start_high=True)
+        assert model.stationary_mean() == model.high_price
+        path = model.sample_path(10, 0.5, seed=0)
+        np.testing.assert_array_equal(path, np.full(11, model.high_price))
+
+
+class TestTracePrice:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TracePrice([], 1.0)
+        with pytest.raises(ValueError):
+            TracePrice([[0.1, 0.2]], 1.0)
+        with pytest.raises(ValueError):
+            TracePrice([0.1, -0.2], 1.0)
+        with pytest.raises(ValueError):
+            TracePrice([0.1, 0.2], 0.0)
+        with pytest.raises(ValueError):
+            TracePrice([0.1], 1.0).price_at(-1.0)
+
+    def test_price_at_is_cyclic(self):
+        trace = TracePrice([1.0, 2.0, 3.0], trace_dt=0.5)
+        assert trace.price_at(0.0) == 1.0
+        assert trace.price_at(0.49) == 1.0
+        assert trace.price_at(0.5) == 2.0
+        assert trace.price_at(1.0) == 3.0
+        assert trace.price_at(1.6) == 1.0  # wrapped past the 1.5h period
+
+    def test_sample_path_replays_the_trace(self):
+        trace = TracePrice([1.0, 2.0, 3.0], trace_dt=0.5)
+        path = trace.sample_path(4, 0.5, seed=None)
+        np.testing.assert_array_equal(path, [1.0, 2.0, 3.0, 1.0, 2.0])
+
+    def test_expected_price_full_period_is_the_mean(self):
+        trace = TracePrice([1.0, 2.0, 3.0], trace_dt=0.5)
+        assert trace.stationary_mean() == pytest.approx(2.0)
+        assert trace.expected_price(0.0, 1.5) == pytest.approx(2.0)
+        assert trace.expected_price(0.0, 15.0) == pytest.approx(2.0)
+
+    def test_expected_price_partial_cells(self):
+        trace = TracePrice([1.0, 2.0, 3.0], trace_dt=0.5)
+        # Half of cell 0 (price 1) and half of cell 1 (price 2).
+        assert trace.expected_price(0.25, 0.75) == pytest.approx(1.5)
+        # Straddling the period boundary: 0.25h of 3 then 0.25h of 1.
+        assert trace.expected_price(1.25, 1.75) == pytest.approx(2.0)

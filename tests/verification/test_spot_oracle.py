@@ -1,0 +1,43 @@
+"""Tests for the spot MC-vs-closed-form differential oracle."""
+
+import pytest
+
+from repro import CostModel
+from repro.distributions.registry import paper_distribution
+from repro.verification.oracles import ORACLES, context_for, run_oracle
+
+
+def _ctx(distribution, cost_model, name="reservation_only"):
+    return context_for(distribution, cost_model, name, quick=True, seed=0)
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "spot_mc_vs_closed_form" in ORACLES
+
+
+class TestScope:
+    def test_skips_utilization_cost_models(self):
+        ctx = _ctx(
+            paper_distribution("exponential"),
+            CostModel(alpha=1.0, beta=1.0, gamma=0.5),
+            name="neurohpc",
+        )
+        assert run_oracle("spot_mc_vs_closed_form", ctx) == []
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("law", ["exponential", "lognormal", "uniform"])
+    def test_three_pairings_pass(self, law):
+        ctx = _ctx(paper_distribution(law), CostModel.reservation_only())
+        records = run_oracle("spot_mc_vs_closed_form", ctx)
+        assert len(records) == 3
+        rights = {r.right_name for r in records}
+        assert rights == {
+            "price * expected_spot_time_restart",
+            "price * expected_spot_time_checkpointed",
+            "expected_spot_cost quadrature",
+        }
+        for record in records:
+            assert record.passed, record.detail
+            assert record.oracle == "spot_mc_vs_closed_form"
