@@ -26,13 +26,19 @@ from repro.analysis.engine import analyze_paths
 from repro.analysis.reporters import Report, render_json, render_text
 from repro.analysis.rules import all_rules, rule_classes
 
-__all__ = ["main", "run"]
+__all__ = ["main", "run", "DEFAULT_GRAPH_NAME"]
+
+#: Default artifact name for ``--graph`` with no argument.
+DEFAULT_GRAPH_NAME = "repro-lint-graph.json"
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="AST-based reproducibility lint (rules RS101-RS106).",
+        description=(
+            "AST-based reproducibility lint: per-file rules RS101-RS106 "
+            "plus call-graph dataflow rules RS201-RS204."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -82,6 +88,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--graph",
+        metavar="FILE",
+        nargs="?",
+        const=DEFAULT_GRAPH_NAME,
+        default=None,
+        help=(
+            "write the call graph (symbol table, edges, resolution stats, "
+            f"findings) as JSON to FILE (default: {DEFAULT_GRAPH_NAME})"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print call-graph resolution statistics",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
     return parser
@@ -102,6 +124,25 @@ def _resolve_baseline_path(args) -> Optional[str]:
     return str(default) if default.exists() or args.write_baseline else None
 
 
+def _write_graph(path: str, graph, new, baselined) -> None:
+    """The ``--graph`` artifact: call graph + findings, one JSON file."""
+    import json
+
+    doc = graph.to_json()
+    doc["findings"] = {
+        "new": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in baselined],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(
+        f"repro-lint: call graph written to {path} "
+        f"({graph.stats.n_edges} edge(s), "
+        f"{graph.stats.resolution_rate:.1%} resolved)"
+    )
+
+
 def run(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -119,11 +160,22 @@ def run(argv: Optional[List[str]] = None) -> int:
         return 2
     rules = [r for r in rules if r.rule_id not in ignored]
 
+    want_graph = args.graph is not None or args.stats
     try:
-        result = analyze_paths(args.paths, rules=rules)
+        result = analyze_paths(args.paths, rules=rules, with_graph=want_graph)
     except FileNotFoundError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.stats and result.graph is not None:
+        s = result.graph.stats
+        print(
+            f"repro-lint: call graph: {s.n_modules} module(s), "
+            f"{s.n_functions} function(s), {s.n_call_sites} call site(s), "
+            f"{s.n_resolved} resolved / {s.n_external} external / "
+            f"{s.n_dynamic} dynamic "
+            f"({s.resolution_rate:.1%} intra-project resolution)"
+        )
 
     fingerprinted = result.fingerprinted()
     baseline_path = _resolve_baseline_path(args)
@@ -150,6 +202,9 @@ def run(argv: Optional[List[str]] = None) -> int:
         stale_fingerprints=stale,
         baseline=baseline,
     )
+
+    if args.graph is not None and result.graph is not None:
+        _write_graph(args.graph, result.graph, new, baselined)
 
     rendered = (
         render_json(report) if args.format == "json" else render_text(report)

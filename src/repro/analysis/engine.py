@@ -19,7 +19,9 @@ from pathlib import Path, PurePosixPath
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.finding import PARSE_ERROR_RULE, Finding, SourceFile
+from repro.analysis.graph import CallGraph, build_graph
 from repro.analysis.rules import ProjectRule, Rule, all_rules
+from repro.analysis.rules.base import GraphRule
 from repro.analysis.suppress import parse_suppressions
 
 __all__ = ["AnalysisResult", "analyze_paths", "collect_files", "load_source"]
@@ -43,6 +45,8 @@ class AnalysisResult:
     sources: List[SourceFile] = field(default_factory=list)
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
+    #: Built when any graph rule ran (or the caller asked for it).
+    graph: Optional[CallGraph] = None
 
     @property
     def n_files(self) -> int:
@@ -117,12 +121,18 @@ def load_source(path: Path) -> SourceFile:
 def analyze_paths(
     paths: Sequence[str],
     rules: Optional[Iterable[Rule]] = None,
+    with_graph: bool = False,
 ) -> AnalysisResult:
     """Lint ``paths`` with ``rules`` (default: every registered rule).
 
     Inline suppressions are applied here: suppressed findings land in
     ``result.suppressed``.  Parse errors are reported as rule ``E001`` and
     can be neither suppressed nor baselined.
+
+    The call graph is built at most once per run — shared by every
+    :class:`GraphRule` and kept on ``result.graph``.  ``with_graph=True``
+    forces construction even when no graph rule is selected (the CLI's
+    ``--graph``/``--stats`` artifacts need it).
     """
     rule_list = list(rules) if rules is not None else all_rules()
     result = AnalysisResult()
@@ -142,9 +152,15 @@ def analyze_paths(
             )
 
     parsed = [s for s in result.sources if s.tree is not None]
+    if with_graph or any(isinstance(r, GraphRule) for r in rule_list):
+        result.graph = build_graph(parsed)
+
     raw: List[Finding] = []
     for rule in rule_list:
-        if isinstance(rule, ProjectRule):
+        if isinstance(rule, GraphRule):
+            assert result.graph is not None
+            raw.extend(rule.check_graph(result.graph))
+        elif isinstance(rule, ProjectRule):
             raw.extend(rule.check_project(parsed))
         else:
             for source in parsed:

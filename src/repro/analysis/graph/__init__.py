@@ -1,0 +1,46 @@
+"""Project-wide symbol table, call graph, and dataflow summaries.
+
+This package is the cross-module half of ``repro-lint``.  The per-file
+rules (RS1xx) see one AST at a time; the RS2xx rule pack needs to answer
+*whole-program* questions — "does every path from a Monte-Carlo entry
+point to an RNG draw thread a seed?", "can these two locks be acquired in
+opposite orders?", "does an injected fault always reach a handler?" — and
+those questions only make sense over a graph of every parsed module.
+
+Layering:
+
+* :mod:`repro.analysis.graph.symbols` — per-function *summaries*: calls
+  (with the identifier dataflow needed for seed-taint), lock acquisition
+  contexts, try/except guards, fault-injection sites, impurity markers.
+  Summaries are pure functions of one AST; nothing cross-module happens
+  here.
+* :mod:`repro.analysis.graph.callgraph` — module naming + import
+  resolution, the project symbol table, call-site resolution (direct,
+  self/class, and name-based class-hierarchy resolution for attribute
+  calls), callback edges for function references passed as arguments,
+  and the resolution-rate statistics surfaced by ``repro-lint --graph
+  --stats``.
+
+Everything is dependency-free (``ast`` only), like the rest of the
+analysis engine.
+"""
+
+from repro.analysis.graph.callgraph import (
+    CallGraph,
+    GraphStats,
+    build_graph,
+)
+from repro.analysis.graph.symbols import (
+    FunctionSummary,
+    ModuleSummary,
+    summarize_module,
+)
+
+__all__ = [
+    "CallGraph",
+    "GraphStats",
+    "build_graph",
+    "FunctionSummary",
+    "ModuleSummary",
+    "summarize_module",
+]

@@ -23,6 +23,10 @@ _BUILTIN_MODULES = (
     "repro.analysis.rules.rs104_locks",
     "repro.analysis.rules.rs105_except",
     "repro.analysis.rules.rs106_metric_names",
+    "repro.analysis.rules.rs201_seed_taint",
+    "repro.analysis.rules.rs202_lock_order",
+    "repro.analysis.rules.rs203_exception_flow",
+    "repro.analysis.rules.rs204_plan_key_purity",
 )
 
 

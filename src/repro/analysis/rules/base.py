@@ -23,6 +23,7 @@ from repro.analysis.finding import Finding, SourceFile
 __all__ = [
     "Rule",
     "ProjectRule",
+    "GraphRule",
     "dotted_name",
     "ImportMap",
     "walk_classes",
@@ -66,6 +67,32 @@ class ProjectRule(Rule):
         self, sources: Sequence[SourceFile]
     ) -> Iterator[Finding]:
         """Yield findings across the full file set."""
+
+
+class GraphRule(ProjectRule):
+    """A rule over the project call graph (the RS2xx pack).
+
+    The engine builds one :class:`~repro.analysis.graph.CallGraph` per run
+    and hands it to every graph rule; :meth:`check_project` is kept as a
+    fallback so a graph rule still works when invoked directly against a
+    source list (it builds its own graph).
+    """
+
+    def check_project(self, sources: Sequence[SourceFile]) -> Iterator[Finding]:
+        from repro.analysis.graph import build_graph
+
+        return self.check_graph(build_graph(list(sources)))
+
+    @abc.abstractmethod
+    def check_graph(self, graph) -> Iterator[Finding]:
+        """Yield findings from the resolved call graph."""
+
+    def graph_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id, path=path, line=line, col=col, message=message
+        )
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

@@ -1,0 +1,230 @@
+"""RS201 — seed provenance must survive every path from an MC entry point.
+
+The bit-identity guarantees of PRs 3/6/7 (``jobs=1`` equals ``jobs=N``
+equals the seed path) hold only if every function on a call path from a
+seeded Monte-Carlo entry point down to an actual RNG draw threads the
+seed / :class:`~numpy.random.SeedSequence` / Generator through.  RS101
+catches unseeded draws *per file*; this rule walks the call graph so a
+helper three modules away cannot quietly call ``default_rng()`` and break
+replays only when some backend happens to route through it.
+
+Two findings:
+
+* an **unseeded RNG construction or legacy-global draw** inside any
+  function reachable from a seeded entry point (``monte_carlo_*``,
+  ``*monte_carlo*`` including ``spot_monte_carlo_cost``, ``batch_*``
+  kernels) — reachability includes callback edges, so rung evaluators
+  handed to ``run_ladder`` and chunk tasks handed to ``backend.map`` are
+  covered;
+* a **dropped seed**: a call that omits a callee's ``seed=None``-style
+  parameter even though seed provenance is in scope at the caller — the
+  callee will silently fall back to fresh entropy.
+
+``utils/rng.py`` is exempt as the sanctioned seed-plumbing module, same
+as RS101.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.finding import Finding
+from repro.analysis.graph.callgraph import CallGraph
+from repro.analysis.graph.symbols import CallSite, FunctionSummary, is_seedish_name
+from repro.analysis.rules import register
+from repro.analysis.rules.base import GraphRule
+
+__all__ = ["SeedTaintRule", "ENTRY_PATTERNS"]
+
+#: Function-name patterns that define seeded entry points (they must also
+#: actually take a seed-like parameter to qualify).
+ENTRY_PATTERNS = (
+    "monte_carlo_*",
+    "*monte_carlo*",
+    "batch_*",
+)
+
+#: Parameters whose ``=None`` default means "fall back to fresh entropy".
+_SEED_PARAM_NAMES = frozenset(
+    {"seed", "rng", "generator", "seed_sequence", "ss"}
+)
+
+#: Seed-consuming constructors from :mod:`repro.utils.rng` — calling them
+#: without a live seed argument defeats their purpose.
+_RNG_PLUMBING = frozenset(
+    {"as_generator", "spawn_generators", "spawn_seed_sequences"}
+)
+
+# Mirrors RS101: the modern numpy construction surface is fine to *name*;
+# everything else under numpy.random is the legacy global-state API.
+_SAFE_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+
+def _is_entry(fn: FunctionSummary) -> bool:
+    if not fn.seedish_params:
+        return False
+    return any(fnmatch.fnmatch(fn.name, pat) for pat in ENTRY_PATTERNS)
+
+
+def _is_rng_module(fn: FunctionSummary) -> bool:
+    from pathlib import PurePosixPath
+
+    return PurePosixPath(fn.path).parts[-2:] == ("utils", "rng.py")
+
+
+@register
+class SeedTaintRule(GraphRule):
+    rule_id = "RS201"
+    summary = (
+        "seed provenance dropped on a path from a Monte-Carlo entry point "
+        "to an RNG draw"
+    )
+
+    def check_graph(self, graph: CallGraph) -> Iterator[Finding]:
+        entries = [fn for fn in graph.functions.values() if _is_entry(fn)]
+        if not entries:
+            return
+
+        # BFS from each entry, remembering which entry first reached each
+        # function (for the finding message).
+        via: dict = {}
+        frontier: List[str] = []
+        for entry in entries:
+            if entry.qname not in via:
+                via[entry.qname] = entry.qname
+                frontier.append(entry.qname)
+        while frontier:
+            current = frontier.pop(0)
+            for edge in graph.out_edges.get(current, ()):
+                if edge.callee not in via:
+                    via[edge.callee] = via[current]
+                    frontier.append(edge.callee)
+
+        seen: Set[Tuple[str, int, str]] = set()
+        for qname, entry_qname in via.items():
+            fn = graph.functions.get(qname)
+            if fn is None or _is_rng_module(fn):
+                continue
+            for site in fn.calls:
+                for finding in self._check_site(graph, fn, site, entry_qname):
+                    key = (finding.path, finding.line, finding.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield finding
+
+    # -- sinks -----------------------------------------------------------
+    def _check_site(
+        self,
+        graph: CallGraph,
+        fn: FunctionSummary,
+        site: CallSite,
+        entry: str,
+    ) -> Iterator[Finding]:
+        dotted = site.dotted
+        if dotted is not None:
+            canonical = graph.canonical(fn.module, dotted)
+            yield from self._check_rng_sink(fn, site, canonical, entry)
+        yield from self._check_dropped_seed(graph, fn, site, entry)
+
+    def _unseeded_args(self, site: CallSite, fn: FunctionSummary) -> bool:
+        """No live seed reaches this call: either no arguments at all, or
+        only identifiers that carry no taint.  Constant-only arguments
+        (``default_rng(12345)``) count as seeded — they are reproducible."""
+        if site.has_splat:
+            return False
+        if any(is_seedish_name(kw) for kw in site.keywords):
+            return False  # an explicit seed-ish keyword is a thread
+        if site.num_args == 0 and not site.keywords:
+            return True
+        if site.arg_names and not site.passes_seedish(fn.tainted):
+            return True
+        return False
+
+    def _check_rng_sink(
+        self, fn: FunctionSummary, site: CallSite, canonical: str, entry: str
+    ) -> Iterator[Finding]:
+        tail = canonical.rsplit(".", 1)[-1]
+        where = f"(reachable from seeded entry point `{entry}`)"
+        if canonical.startswith("numpy.random.") and tail not in _SAFE_NP_RANDOM:
+            yield self.graph_finding(
+                fn.path,
+                site.lineno,
+                site.col,
+                f"legacy global-state RNG `np.random.{tail}` on a seeded "
+                f"Monte-Carlo path {where}; thread the caller's seed instead",
+            )
+            return
+        if canonical == "random" or canonical.startswith("random."):
+            yield self.graph_finding(
+                fn.path,
+                site.lineno,
+                site.col,
+                f"stdlib `random` call (`{canonical}`) on a seeded "
+                f"Monte-Carlo path {where}; it draws from a hidden global "
+                "stream the seed plumbing never touches",
+            )
+            return
+        if canonical == "numpy.random.default_rng" and self._unseeded_args(
+            site, fn
+        ):
+            yield self.graph_finding(
+                fn.path,
+                site.lineno,
+                site.col,
+                f"`default_rng()` without live seed provenance {where}; "
+                "every replay of this entry point will diverge here",
+            )
+            return
+        if tail in _RNG_PLUMBING and self._unseeded_args(site, fn):
+            yield self.graph_finding(
+                fn.path,
+                site.lineno,
+                site.col,
+                f"`{tail}(...)` called without threading the entry point's "
+                f"seed {where}; pass the seed/SeedSequence through",
+            )
+
+    # -- dropped seed ----------------------------------------------------
+    def _check_dropped_seed(
+        self,
+        graph: CallGraph,
+        fn: FunctionSummary,
+        site: CallSite,
+        entry: str,
+    ) -> Iterator[Finding]:
+        if site.has_splat or not fn.tainted:
+            return
+        if site.passes_seedish(fn.tainted):
+            return
+        for edge in graph.out_edges.get(fn.qname, ()):
+            if edge.site is not site or edge.kind == "ref":
+                continue
+            callee = graph.functions.get(edge.callee)
+            if callee is None:
+                continue
+            for param in callee.params:
+                if (
+                    param in _SEED_PARAM_NAMES
+                    and callee.param_defaults_none.get(param)
+                ):
+                    yield self.graph_finding(
+                        fn.path,
+                        site.lineno,
+                        site.col,
+                        f"call to `{callee.name}` omits its `{param}` "
+                        "parameter although seed provenance is in scope "
+                        f"(reachable from `{entry}`); the callee defaults "
+                        "to fresh entropy",
+                    )
+                    break

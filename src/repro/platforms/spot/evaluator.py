@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Any, Optional, Tuple, Union
 
 import numpy as np
 
@@ -215,7 +215,9 @@ def _simulate_spot_paths(
     return cost, busy, interruptions, steps
 
 
-def _simulate_spot_chunk(args) -> Tuple[float, float, float, int, int, int]:
+def _simulate_spot_chunk(
+    args: Tuple[Any, ...]
+) -> Tuple[float, float, float, int, int, int]:
     """One pool task: draw ``n`` paths on a spawned stream, return moments.
 
     Module-level so the process backend can pickle it; the partials are
@@ -240,7 +242,9 @@ def _simulate_spot_chunk(args) -> Tuple[float, float, float, int, int, int]:
     )
 
 
-def _select_spot_backend(backend, jobs: int, n_paths: int):
+def _select_spot_backend(
+    backend: Any, jobs: int, n_paths: int
+) -> Tuple[str, Any, bool]:
     """Normalize ``backend`` to ``(kind, pool, owned)`` — the
     ``simulation.batch`` resolution semantics, with a path-count threshold
     for ``"auto"``."""
@@ -287,7 +291,7 @@ def spot_monte_carlo_cost(
     checkpoint_interval: Optional[float] = None,
     n_paths: int = 2000,
     seed: SeedLike = None,
-    backend=None,
+    backend: Any = None,
     jobs: int = 1,
     task_timeout: Optional[float] = None,
     task_retries: int = 0,
@@ -375,7 +379,7 @@ def spot_monte_carlo_cost(
 # ----------------------------------------------------------------------
 
 
-def _job_upper(distribution, tail: float) -> float:
+def _job_upper(distribution: Any, tail: float) -> float:
     upper = float(distribution.upper)
     if math.isfinite(upper):
         return upper
@@ -383,7 +387,7 @@ def _job_upper(distribution, tail: float) -> float:
 
 
 def expected_spot_busy_time(
-    distribution,
+    distribution: Any,
     interruption_rate: float,
     checkpoint_interval: float = math.inf,
     checkpoint_overhead: float = 0.0,
@@ -494,7 +498,7 @@ def expected_spot_busy_time(
 
 
 def expected_spot_cost(
-    distribution,
+    distribution: Any,
     price: Union[float, object],
     interruption_rate: float,
     checkpoint_interval: float = math.inf,

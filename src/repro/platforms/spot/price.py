@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -262,7 +262,7 @@ class TracePrice(_PathMixin):
 
     name = "trace"
 
-    def __init__(self, prices, trace_dt: float) -> None:
+    def __init__(self, prices: Sequence[float], trace_dt: float) -> None:
         arr = np.asarray(prices, dtype=float)
         if arr.ndim != 1 or arr.size == 0:
             raise ValueError("trace must be a nonempty 1-D price series")

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from repro.observability import metrics
 from repro.observability import names
@@ -48,7 +48,7 @@ _STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
 class CircuitOpen(RuntimeError):
     """The breaker rejected a call without running it."""
 
-    def __init__(self, name: str, retry_in: float):
+    def __init__(self, name: str, retry_in: float) -> None:
         super().__init__(
             f"circuit {name!r} is open (next probe in {retry_in:.2f}s)"
         )
@@ -66,7 +66,7 @@ class CircuitBreaker:
         half_open_max_calls: int = 1,
         name: str = "backend",
         clock: Callable[[], float] = time.monotonic,
-    ):
+    ) -> None:
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"
@@ -179,7 +179,7 @@ class CircuitBreaker:
                     )
 
     # ------------------------------------------------------------------
-    def call(self, fn: Callable, *args, **kwargs):
+    def call(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
         """Run ``fn`` through the breaker (raising :class:`CircuitOpen`)."""
         if not self.allow():
             raise CircuitOpen(self.name, self.retry_in())

@@ -37,7 +37,7 @@ Rung = Tuple[str, Callable[[], object]]
 class LadderExhausted(RuntimeError):
     """Every rung of a degradation ladder failed."""
 
-    def __init__(self, attempts: List[dict]):
+    def __init__(self, attempts: List[dict]) -> None:
         tried = ", ".join(a["evaluator"] for a in attempts)
         super().__init__(f"all evaluators failed (tried: {tried})")
         self.attempts = attempts

@@ -53,7 +53,7 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.observability import metrics
 from repro.observability import names
@@ -87,12 +87,12 @@ _DEFAULT_SECONDS = {"error": 0.0, "hang": 30.0, "delay": 0.05}
 class InjectedFault(RuntimeError):
     """Raised at an injection point when the active plan says "fail here"."""
 
-    def __init__(self, site: str, rule: "FaultRule"):
+    def __init__(self, site: str, rule: "FaultRule") -> None:
         super().__init__(f"injected fault at {site!r} ({rule.describe()})")
         self.site = site
         self.rule = rule
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         # Exceptions unpickle as ``cls(*args)`` with args = (message,) by
         # default, which would crash the two-argument constructor — and a
         # fault injected inside a *process-pool* worker travels back to the
@@ -193,7 +193,7 @@ class FaultPlan:
         seed: int = 0,
         sleep: Callable[[float], None] = time.sleep,
         strict_sites: bool = True,
-    ):
+    ) -> None:
         rules = list(rules)
         if strict_sites:
             known = known_sites()
@@ -426,11 +426,11 @@ def injection_point(site: str, description: str = "") -> Callable:
 
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             fire(site)
             return fn(*args, **kwargs)
 
-        wrapper.__fault_site__ = site
+        wrapper.__fault_site__ = site  # type: ignore[attr-defined]
         return wrapper
 
     return decorate

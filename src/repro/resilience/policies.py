@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Optional, Tuple, Type
+from typing import Any, Callable, Optional, Tuple, Type
 
 from repro.observability import metrics
 from repro.observability import names
@@ -47,7 +47,9 @@ class Deadline:
 
     __slots__ = ("expires_at", "_clock")
 
-    def __init__(self, seconds: float, clock: Callable[[], float] = time.monotonic):
+    def __init__(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
         if seconds < 0:
             raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
         self._clock = clock
@@ -85,7 +87,7 @@ class Deadline:
 class RetryBudget:
     """A shared, thread-safe cap on total retries across many calls."""
 
-    def __init__(self, max_retries: int):
+    def __init__(self, max_retries: int) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.max_retries = int(max_retries)
@@ -130,7 +132,7 @@ class RetryPolicy:
         retry_on: Tuple[Type[BaseException], ...] = (Exception,),
         budget: Optional[RetryBudget] = None,
         sleep: Callable[[float], None] = time.sleep,
-    ):
+    ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if base_delay < 0 or max_delay < 0:
@@ -207,11 +209,11 @@ class RetryPolicy:
     def call(
         self,
         fn: Callable,
-        *args,
+        *args: Any,
         deadline: Optional[Deadline] = None,
         on_retry: Optional[Callable[[int, BaseException], None]] = None,
-        **kwargs,
-    ):
+        **kwargs: Any,
+    ) -> Any:
         """Run ``fn`` under this policy, re-raising the final failure."""
         attempt = 0
         while True:

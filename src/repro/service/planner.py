@@ -255,7 +255,15 @@ class PlannerService:
             if self.resilience.enabled
             else None
         )
+        # Wall-clock epoch for display; monotonic origin for uptime_s —
+        # NTP steps / DST jumps must never produce negative or inflated
+        # uptime in health probes.
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
+
+    def uptime_s(self) -> float:
+        """Seconds since service construction, immune to wall-clock steps."""
+        return time.monotonic() - self._started_monotonic
 
     @classmethod
     def from_options(
@@ -509,7 +517,7 @@ class PlannerService:
         fault_plan = faults.get_plan()
         return {
             "status": "ok",
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": self.uptime_s(),
             "backend": self.backend.kind,
             "cache": self.cache.stats(),
             "resilience": {
@@ -524,5 +532,5 @@ class PlannerService:
             "metrics": metrics.get_registry().to_dict(),
             "cache": self.cache.stats(),
             "breaker": self.breaker.stats() if self.breaker is not None else None,
-            "uptime_s": time.time() - self.started_at,
+            "uptime_s": self.uptime_s(),
         }

@@ -325,7 +325,10 @@ def main(argv=None) -> int:
         try:
             loaded = service.cache.load(args.warm_start)
             print(f"Warm start: {loaded} plan(s) from {args.warm_start}")
-        except (OSError, json.JSONDecodeError) as exc:
+        except Exception as exc:  # noqa: BLE001 - a cold boot beats no boot
+            # Broad on purpose: a corrupt/unreadable snapshot (or an
+            # injected plancache.load fault in chaos runs) must degrade to
+            # an empty cache, never keep the server from starting.
             print(f"Warm start skipped ({exc})", file=sys.stderr)
 
     server = serve(
@@ -362,8 +365,18 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
         if args.snapshot_out:
-            saved = service.cache.save(args.snapshot_out)
-            print(f"Snapshot: {saved} plan(s) to {args.snapshot_out}", flush=True)
+            try:
+                saved = service.cache.save(args.snapshot_out)
+                print(
+                    f"Snapshot: {saved} plan(s) to {args.snapshot_out}",
+                    flush=True,
+                )
+            except Exception as exc:  # noqa: BLE001
+                # The shutdown path must complete even when the snapshot
+                # write fails (disk full, injected plancache.save fault):
+                # losing a warm start is recoverable, dying mid-drain with
+                # a traceback is not.
+                print(f"Snapshot failed ({exc})", file=sys.stderr)
     return 0
 
 

@@ -197,7 +197,7 @@ def _sample_and_cost_chunk(args):
 
     Also a ``mc.chunk`` fault-injection site, like the pre-sampled variant.
     """
-    faults.fire("mc.chunk")
+    faults.fire("mc.chunk")  # repro-lint: disable=RS203 -- raising out of the public batch API (monte_carlo_many) is its contract; chaos tests assert the raise, and every service-tier path is absorbed by run_ladder
     distribution, child_seed, n, values, cost_model = args
     rng = np.random.default_rng(child_seed)
     times = np.asarray(distribution.rvs(n, seed=rng), dtype=float)

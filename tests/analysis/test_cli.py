@@ -122,5 +122,75 @@ def test_parse_error_fails_even_with_write_baseline(tmp_path, monkeypatch):
 def test_list_rules(capsys):
     assert run(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RS101", "RS102", "RS103", "RS104", "RS105", "RS106"):
+    for rule_id in (
+        "RS101",
+        "RS102",
+        "RS103",
+        "RS104",
+        "RS105",
+        "RS106",
+        "RS201",
+        "RS202",
+        "RS203",
+        "RS204",
+    ):
         assert rule_id in out
+
+
+_LOCKED_SLEEP = """\
+    import threading
+    import time
+
+    _L = threading.Lock()
+
+    def slow():
+        with _L:
+            time.sleep(1.0)
+"""
+
+
+def test_graph_artifact_schema(tmp_path, capsys):
+    _write(tmp_path, "service/mod.py", _LOCKED_SLEEP)
+    graph_path = tmp_path / "graph.json"
+    code = run([str(tmp_path), "--graph", str(graph_path)])
+    assert code == 1  # the RS202 finding still gates
+    doc = json.loads(graph_path.read_text())
+    assert doc["version"] == 1
+    assert set(doc) >= {"version", "stats", "functions", "edges", "findings"}
+    assert set(doc["findings"]) == {"new", "baselined"}
+    assert any(f["rule"] == "RS202" for f in doc["findings"]["new"])
+    assert doc["stats"]["functions"] >= 1
+    assert 0.0 <= doc["stats"]["resolution_rate"] <= 1.0
+    assert "call graph written to" in capsys.readouterr().out
+
+
+def test_graph_flag_without_argument_uses_default_name(
+    tmp_path, capsys, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "pkg/mod.py", _CLEAN)
+    assert run(["pkg", "--graph"]) == 0
+    from repro.analysis.cli import DEFAULT_GRAPH_NAME
+
+    assert (tmp_path / DEFAULT_GRAPH_NAME).exists()
+
+
+def test_stats_prints_resolution_line(tmp_path, capsys):
+    _write(tmp_path, "pkg/mod.py", _CLEAN)
+    assert run([str(tmp_path), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "intra-project resolution" in out
+
+
+def test_graph_rule_findings_ride_the_baseline_ratchet(
+    tmp_path, capsys, monkeypatch
+):
+    """RS2xx debt participates in the same ratchet as per-file rules:
+    baselined once, gating again the moment fresh debt appears."""
+    monkeypatch.chdir(tmp_path)
+    _write(tmp_path, "service/mod.py", _LOCKED_SLEEP)
+    assert run(["service", "--select", "RS202", "--write-baseline"]) == 0
+    assert run(["service", "--select", "RS202"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    _write(tmp_path, "service/fresh.py", _LOCKED_SLEEP)
+    assert run(["service", "--select", "RS202"]) == 1

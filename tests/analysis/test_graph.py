@@ -1,0 +1,211 @@
+"""Call-graph construction: module naming, resolution, edges, stats."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import collect_files, load_source
+from repro.analysis.graph import build_graph
+from repro.analysis.graph.callgraph import module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def graph_of(tmp_path):
+    def build(files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        sources = [load_source(p) for p in collect_files([str(tmp_path)])]
+        return build_graph([s for s in sources if s.tree is not None])
+
+    return build
+
+
+def _qname(graph, suffix):
+    hits = [q for q in graph.functions if q.endswith(suffix)]
+    assert len(hits) == 1, f"{suffix!r}: {hits}"
+    return hits[0]
+
+
+def _edges(graph, caller_suffix):
+    caller = _qname(graph, caller_suffix)
+    return {
+        (e.callee.rsplit(".", 2)[-2] + "." + e.callee.rsplit(".", 1)[-1], e.kind)
+        for e in graph.out_edges.get(caller, ())
+    }
+
+
+class TestModuleNaming:
+    def test_package_chain_strips_non_package_roots(self):
+        packages = {("src", "repro"), ("src", "repro", "service")}
+        assert (
+            module_name_for("src/repro/service/planner.py", packages)
+            == "repro.service.planner"
+        )
+        assert module_name_for("src/repro/__init__.py", packages) == "repro"
+
+    def test_bare_tree_falls_back_to_path_derived(self):
+        assert module_name_for("pkg/mod.py", set()) == "pkg.mod"
+
+
+class TestResolution:
+    def test_module_and_import_resolution(self, graph_of):
+        g = graph_of(
+            {
+                "pkg/a.py": """
+                from pkg.b import helper
+
+                def top():
+                    helper()
+                    local()
+
+                def local():
+                    pass
+                """,
+                "pkg/b.py": """
+                def helper():
+                    pass
+                """,
+            }
+        )
+        top = _qname(g, ".a.top")
+        callees = {e.callee.rsplit(".", 1)[-1] for e in g.out_edges[top]}
+        assert callees == {"helper", "local"}
+        assert all(e.kind == "direct" for e in g.out_edges[top])
+
+    def test_self_method_and_cha(self, graph_of):
+        g = graph_of(
+            {
+                "pkg/c.py": """
+                class Worker:
+                    def run(self):
+                        self.step()
+                        self.backend.map(job)
+
+                    def step(self):
+                        pass
+
+                class Pool:
+                    def map(self, fn):
+                        pass
+                """,
+            }
+        )
+        run = _qname(g, "Worker.run")
+        kinds = {(e.callee.rsplit(".", 1)[-1], e.kind) for e in g.out_edges[run]}
+        assert ("step", "direct") in kinds
+        # `self.backend.map` is untyped: name-based CHA reaches Pool.map.
+        assert ("map", "cha") in kinds
+
+    def test_callback_ref_edges(self, graph_of):
+        g = graph_of(
+            {
+                "pkg/d.py": """
+                def runner(rungs):
+                    for name, fn in rungs:
+                        fn()
+
+                def task():
+                    pass
+
+                def main():
+                    runner([("t", task)])
+                """,
+            }
+        )
+        runner = _qname(g, ".d.runner")
+        task = _qname(g, ".d.task")
+        # The reference `task` passed into runner() becomes runner -> task.
+        assert any(
+            e.callee == task and e.kind == "ref"
+            for e in g.out_edges.get(runner, ())
+        )
+
+    def test_external_and_dynamic_classification(self, graph_of):
+        g = graph_of(
+            {
+                "pkg/e.py": """
+                import math
+
+                def f(cb):
+                    math.sqrt(4.0)     # external (stdlib)
+                    len([1])           # external (builtin)
+                    cb()               # dynamic (parameter)
+                """,
+            }
+        )
+        s = g.stats
+        assert s.n_dynamic == 1
+        assert s.n_external == 2
+        assert s.resolution_rate == 0.0  # 0 resolved / (0 + 1)
+
+    def test_nested_function_resolution(self, graph_of):
+        g = graph_of(
+            {
+                "pkg/f.py": """
+                def outer():
+                    def inner():
+                        pass
+                    inner()
+                """,
+            }
+        )
+        outer = _qname(g, ".f.outer")
+        assert [e.callee for e in g.out_edges[outer]] == [
+            outer + ".<locals>.inner"
+        ]
+
+
+class TestGraphJson:
+    def test_schema(self, graph_of):
+        g = graph_of({"pkg/g.py": "def f():\n    pass\n"})
+        doc = g.to_json()
+        assert doc["version"] == 1
+        assert set(doc["stats"]) >= {
+            "modules",
+            "functions",
+            "call_sites",
+            "resolved",
+            "external",
+            "dynamic",
+            "resolution_rate",
+        }
+        assert isinstance(doc["functions"], list)
+        assert isinstance(doc["edges"], list)
+
+
+class TestSelfResolution:
+    def test_repo_resolution_rate_at_least_90_percent(self):
+        """Acceptance: >= 90% of intra-project call sites resolve on this
+        repository itself (measured, not assumed)."""
+        sources = [
+            load_source(p) for p in collect_files([str(REPO_ROOT / "src")])
+        ]
+        g = build_graph([s for s in sources if s.tree is not None])
+        assert g.stats.n_call_sites > 4000
+        assert g.stats.resolution_rate >= 0.90
+
+    def test_repo_key_edges_exist(self):
+        """Spot-check load-bearing edges the RS2xx rules depend on."""
+        sources = [
+            load_source(p) for p in collect_files([str(REPO_ROOT / "src")])
+        ]
+        g = build_graph([s for s in sources if s.tree is not None])
+        # backend.map -> MC chunk task (callback edge used by RS201/RS203).
+        chunk = "repro.simulation.monte_carlo._chunk_task"
+        assert any(
+            e.kind == "ref" and ".pool." in e.caller
+            for e in g.in_edges.get(chunk, ())
+        )
+        # run_ladder invokes the planner's rung closures.
+        ladder = "repro.resilience.degradation.run_ladder"
+        assert any(
+            e.kind == "ref" and ".<locals>." in e.callee
+            for e in g.out_edges.get(ladder, ())
+        )

@@ -1,0 +1,250 @@
+"""RS202: lock-order cycles, non-reentrant re-acquisition, blocking-under-lock."""
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_two_lock_cycle_fires(lint):
+    """The differential guard: two module locks taken in opposite orders."""
+    result = lint(
+        {
+            "service/locks.py": """\
+                import threading
+
+                _A = threading.Lock()
+                _B = threading.Lock()
+
+                def forward():
+                    with _A:
+                        with _B:
+                            pass
+
+                def backward():
+                    with _B:
+                        with _A:
+                            pass
+            """,
+        },
+        rule="RS202",
+    )
+    assert rule_ids(result) == ["RS202"]
+    assert "lock-order cycle" in result.findings[0].message
+
+
+def test_consistent_order_passes(lint):
+    result = lint(
+        {
+            "service/locks.py": """\
+                import threading
+
+                _A = threading.Lock()
+                _B = threading.Lock()
+
+                def one():
+                    with _A:
+                        with _B:
+                            pass
+
+                def two():
+                    with _A:
+                        with _B:
+                            pass
+            """,
+        },
+        rule="RS202",
+    )
+    assert result.findings == []
+
+
+def test_cross_module_cycle_through_call_closure(lint):
+    """Neither module alone has a cycle; the call closure (a function
+    invoked under lock A transitively acquires B, and vice versa) does."""
+    result = lint(
+        {
+            "service/a.py": """\
+                import threading
+                from service.b import take_b
+
+                _A = threading.Lock()
+
+                def under_a():
+                    with _A:
+                        take_b()
+
+                def take_a():
+                    with _A:
+                        pass
+            """,
+            "service/b.py": """\
+                import threading
+                from service.a import take_a
+
+                _B = threading.Lock()
+
+                def take_b():
+                    with _B:
+                        pass
+
+                def under_b():
+                    with _B:
+                        take_a()
+            """,
+        },
+        rule="RS202",
+    )
+    assert rule_ids(result) == ["RS202"]
+    assert "lock-order cycle" in result.findings[0].message
+
+
+def test_non_reentrant_self_reacquisition_fires(lint):
+    result = lint(
+        {
+            "service/cache.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def put(self, key):
+                        with self._lock:
+                            self._evict()
+
+                    def _evict(self):
+                        with self._lock:
+                            pass
+            """,
+        },
+        rule="RS202",
+    )
+    assert rule_ids(result) == ["RS202"]
+    assert "non-reentrant" in result.findings[0].message
+
+
+def test_rlock_self_reacquisition_passes(lint):
+    result = lint(
+        {
+            "service/cache.py": """\
+                import threading
+
+                class Cache:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+
+                    def put(self, key):
+                        with self._lock:
+                            self._evict()
+
+                    def _evict(self):
+                        with self._lock:
+                            pass
+            """,
+        },
+        rule="RS202",
+    )
+    assert result.findings == []
+
+
+def test_blocking_sleep_under_lock_fires(lint):
+    result = lint(
+        {
+            "service/io.py": """\
+                import threading
+                import time
+
+                _L = threading.Lock()
+
+                def slow():
+                    with _L:
+                        time.sleep(1.0)
+            """,
+        },
+        rule="RS202",
+    )
+    assert rule_ids(result) == ["RS202"]
+    assert "blocking call `time.sleep`" in result.findings[0].message
+
+
+def test_sleep_outside_lock_passes(lint):
+    result = lint(
+        {
+            "service/io.py": """\
+                import threading
+                import time
+
+                _L = threading.Lock()
+
+                def fine():
+                    with _L:
+                        pass
+                    time.sleep(1.0)
+            """,
+        },
+        rule="RS202",
+    )
+    assert result.findings == []
+
+
+def test_path_io_attr_under_lock_fires(lint):
+    result = lint(
+        {
+            "service/snapshot.py": """\
+                import threading
+
+                _L = threading.Lock()
+
+                def save(path, payload):
+                    with _L:
+                        path.write_text(payload)
+            """,
+        },
+        rule="RS202",
+    )
+    assert rule_ids(result) == ["RS202"]
+    assert "write_text" in result.findings[0].message
+
+
+def test_out_of_scope_modules_ignored(lint):
+    """RS202 scopes to service/observability/resilience; a two-lock cycle
+    in an unrelated subsystem is not its business."""
+    result = lint(
+        {
+            "simulation/locks.py": """\
+                import threading
+
+                _A = threading.Lock()
+                _B = threading.Lock()
+
+                def forward():
+                    with _A:
+                        with _B:
+                            pass
+
+                def backward():
+                    with _B:
+                        with _A:
+                            pass
+            """,
+        },
+        rule="RS202",
+    )
+    assert result.findings == []
+
+
+def test_inline_suppression_lands_in_suppressed(lint):
+    result = lint(
+        {
+            "service/io.py": """\
+                import threading
+                import time
+
+                _L = threading.Lock()
+
+                def slow():
+                    with _L:
+                        time.sleep(0.01)  # repro-lint: disable=RS202 -- bounded pause, measured harmless
+            """,
+        },
+        rule="RS202",
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RS202"]

@@ -1,0 +1,225 @@
+"""RS203: injected faults must be dominated by a terminal handler."""
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_unhandled_fault_escapes_fires(lint):
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                from resilience import faults
+
+                def risky():
+                    faults.fire("db.write")
+
+                def main():
+                    risky()
+            """,
+        },
+        rule="RS203",
+    )
+    assert rule_ids(result) == ["RS203"]
+    finding = result.findings[0]
+    assert "'db.write'" in finding.message
+    assert "uncaught" in finding.message
+    assert "main" in finding.message  # names the escape root
+
+
+def test_terminal_handler_in_caller_passes(lint):
+    """A broad handler that *uses* the exception is terminal: the fault is
+    absorbed, RS203 stays quiet."""
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                import sys
+
+                from resilience import faults
+
+                def risky():
+                    faults.fire("db.write")
+
+                def main():
+                    try:
+                        risky()
+                    except Exception as exc:
+                        print(f"degraded: {exc}", file=sys.stderr)
+            """,
+        },
+        rule="RS203",
+    )
+    assert result.findings == []
+
+
+def test_swallowing_handler_fires(lint):
+    """Catching broadly and ignoring the error hides the fault from chaos
+    CI entirely — reported at the guard, not the fault site."""
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                from resilience import faults
+
+                def risky():
+                    faults.fire("db.write")
+
+                def main():
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+            """,
+        },
+        rule="RS203",
+    )
+    assert rule_ids(result) == ["RS203"]
+    finding = result.findings[0]
+    assert "swallows" in finding.message
+    assert finding.line == 9  # the except line, not the fire() line
+
+
+def test_reraising_guard_is_waypoint_not_stop(lint):
+    """A retry-style handler that re-raises after cleanup does not absorb
+    the fault; with nothing above it, the fault still escapes."""
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                from resilience import faults
+
+                def risky():
+                    faults.fire("db.write")
+
+                def retry():
+                    try:
+                        risky()
+                    except Exception:
+                        raise
+
+                def main():
+                    retry()
+            """,
+        },
+        rule="RS203",
+    )
+    assert rule_ids(result) == ["RS203"]
+    assert "main" in result.findings[0].message
+
+
+def test_terminal_handler_above_reraise_passes(lint):
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                import sys
+
+                from resilience import faults
+
+                def risky():
+                    faults.fire("db.write")
+
+                def retry():
+                    try:
+                        risky()
+                    except Exception:
+                        raise
+
+                def main():
+                    try:
+                        retry()
+                    except Exception as exc:
+                        print(f"gave up: {exc}", file=sys.stderr)
+            """,
+        },
+        rule="RS203",
+    )
+    assert result.findings == []
+
+
+def test_narrow_handler_does_not_stop_injected_fault(lint):
+    """``except ValueError`` does not catch InjectedFault; the fault walks
+    straight past it."""
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                from resilience import faults
+
+                def risky():
+                    faults.fire("db.write")
+
+                def main():
+                    try:
+                        risky()
+                    except ValueError:
+                        pass
+            """,
+        },
+        rule="RS203",
+    )
+    assert rule_ids(result) == ["RS203"]
+    assert "uncaught" in result.findings[0].message
+
+
+def test_callback_edge_uses_receiver_guards(lint):
+    """A task invoked through a pool's map() is guarded by whatever the
+    receiver function wraps around its (unknown) invocation point."""
+    result = lint(
+        {
+            "resilience/pool.py": """\
+                import sys
+
+                def run_all(fn, items):
+                    out = []
+                    for item in items:
+                        try:
+                            out.append(fn(item))
+                        except Exception as exc:
+                            print(f"worker died: {exc}", file=sys.stderr)
+                    return out
+            """,
+            "resilience/task.py": """\
+                from resilience import faults
+                from resilience.pool import run_all
+
+                def chunk(item):
+                    faults.fire("mc.chunk")
+
+                def fan_out(items):
+                    return run_all(chunk, items)
+            """,
+        },
+        rule="RS203",
+    )
+    assert result.findings == []
+
+
+def test_fault_site_guarded_locally_passes(lint):
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                import sys
+
+                from resilience import faults
+
+                def risky():
+                    try:
+                        faults.fire("db.write")
+                    except Exception as exc:
+                        print(f"absorbed: {exc}", file=sys.stderr)
+            """,
+        },
+        rule="RS203",
+    )
+    assert result.findings == []
+
+
+def test_inline_suppression_lands_in_suppressed(lint):
+    result = lint(
+        {
+            "resilience/worker.py": """\
+                from resilience import faults
+
+                def risky():
+                    faults.fire("db.write")  # repro-lint: disable=RS203 -- raising is this API's contract
+            """,
+        },
+        rule="RS203",
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RS203"]

@@ -1,0 +1,147 @@
+"""RS204: plan-key hashing must be transitively pure."""
+
+from tests.analysis.conftest import rule_ids
+
+
+def test_clock_read_deep_in_closure_fires(lint):
+    """The impurity is two calls away from keys.py — per-file rules cannot
+    see it; the call-graph closure can."""
+    result = lint(
+        {
+            "service/keys.py": """\
+                from service.canon import canonicalize
+
+                def plan_key(request):
+                    return hash(canonicalize(request))
+            """,
+            "service/canon.py": """\
+                import time
+
+                def canonicalize(request):
+                    return (time.time(), tuple(sorted(request)))
+            """,
+        },
+        rule="RS204",
+    )
+    assert rule_ids(result) == ["RS204"]
+    finding = result.findings[0]
+    assert finding.path.endswith("service/canon.py")
+    assert "time.time" in finding.message
+    assert "plan_key" in finding.message  # root attribution
+
+
+def test_pure_closure_passes(lint):
+    result = lint(
+        {
+            "service/keys.py": """\
+                import hashlib
+                import json
+
+                from service.canon import canonicalize
+
+                def plan_key(request):
+                    blob = json.dumps(canonicalize(request), sort_keys=True)
+                    return hashlib.sha256(blob.encode()).hexdigest()
+            """,
+            "service/canon.py": """\
+                def canonicalize(request):
+                    return sorted(request.items())
+            """,
+        },
+        rule="RS204",
+    )
+    assert result.findings == []
+
+
+def test_env_read_fires(lint):
+    result = lint(
+        {
+            "service/keys.py": """\
+                import os
+
+                def plan_key(request):
+                    salt = os.getenv("KEY_SALT", "")
+                    return salt + str(sorted(request))
+            """,
+        },
+        rule="RS204",
+    )
+    assert rule_ids(result) == ["RS204"]
+    assert "os.getenv" in result.findings[0].message
+
+
+def test_global_mutation_fires(lint):
+    result = lint(
+        {
+            "service/keys.py": """\
+                _COUNT = 0
+
+                def plan_key(request):
+                    global _COUNT
+                    _COUNT += 1
+                    return str(sorted(request))
+            """,
+        },
+        rule="RS204",
+    )
+    assert rule_ids(result) == ["RS204"]
+    assert "`global` mutation" in result.findings[0].message
+
+
+def test_impurity_outside_keys_closure_passes(lint):
+    """An impure function in service/ that keys.py never calls is fine."""
+    result = lint(
+        {
+            "service/keys.py": """\
+                def plan_key(request):
+                    return str(sorted(request))
+            """,
+            "service/metrics.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        },
+        rule="RS204",
+    )
+    assert result.findings == []
+
+
+def test_cha_through_container_method_names_is_skipped(lint):
+    """``d.get(...)`` textually matches Store.get, but container-style
+    method names are excluded from the closure — no fabricated impurity."""
+    result = lint(
+        {
+            "service/keys.py": """\
+                def plan_key(request):
+                    return str(request.get("strategy"))
+            """,
+            "service/store.py": """\
+                import time
+
+                class Store:
+                    def get(self, key):
+                        return time.time()
+            """,
+        },
+        rule="RS204",
+    )
+    assert result.findings == []
+
+
+def test_inline_suppression_lands_in_suppressed(lint):
+    result = lint(
+        {
+            "service/keys.py": """\
+                import os
+
+                def plan_key(request):
+                    salt = os.getenv("KEY_SALT", "")  # repro-lint: disable=RS204 -- deployment-scoped salt, constant per host
+                    return salt + str(sorted(request))
+            """,
+        },
+        rule="RS204",
+    )
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["RS204"]

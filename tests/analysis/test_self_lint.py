@@ -29,3 +29,29 @@ def test_repo_json_report_shape(monkeypatch, tmp_path, capsys):
     assert doc["summary"]["files"] > 100
     # The intentional exact-comparison disables are visible, not hidden.
     assert doc["summary"]["suppressed"] >= 10
+
+
+def test_repo_graph_resolution_and_no_deadlock_debt(
+    monkeypatch, tmp_path, capsys
+):
+    """Acceptance criteria for the dataflow pack, measured on the repo:
+
+    * >= 90% of intra-project call sites resolve (the RS2xx rules are only
+      as good as the graph under them);
+    * zero RS202 lock-order cycles anywhere — not even baselined. Blocking
+      and re-acquisition debt could in principle be ratcheted, but an
+      acquisition-order cycle is a deadlock waiting for a scheduler, so the
+      gate is absolute.
+    """
+    monkeypatch.chdir(REPO_ROOT)
+    graph_path = tmp_path / "graph.json"
+    assert run(["src", "--graph", str(graph_path)]) == 0
+    doc = json.loads(graph_path.read_text())
+    assert doc["stats"]["resolution_rate"] >= 0.90
+    everything = doc["findings"]["new"] + doc["findings"]["baselined"]
+    cycles = [
+        f
+        for f in everything
+        if f["rule"] == "RS202" and "cycle" in f["message"]
+    ]
+    assert cycles == []

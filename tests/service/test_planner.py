@@ -145,6 +145,30 @@ class TestIntrospection:
         assert health["backend"] == "serial"
         assert health["cache"]["maxsize"] == 8
 
+    def test_uptime_survives_wall_clock_step_backwards(self, service, monkeypatch):
+        """uptime_s comes from the monotonic clock: an NTP step that moves
+        time.time() backwards must not yield negative (or shrunken) uptime,
+        while computed_at stays wall-clock epoch."""
+        import time as _time
+
+        real_time = _time.time
+        monkeypatch.setattr(
+            "repro.service.planner.time.time", lambda: real_time() - 3600.0
+        )
+        health = service.health()
+        assert health["uptime_s"] >= 0.0
+        assert service.metrics_payload()["uptime_s"] >= 0.0
+        # computed_at deliberately stays wall-clock (it is a display field).
+        plan = service.plan(REQUEST)
+        assert plan["computed_at"] == pytest.approx(real_time() - 3600.0, abs=30.0)
+
+    def test_uptime_advances_with_monotonic_clock(self, service, monkeypatch):
+        base = service._started_monotonic
+        monkeypatch.setattr(
+            "repro.service.planner.time.monotonic", lambda: base + 12.5
+        )
+        assert service.uptime_s() == pytest.approx(12.5)
+
     def test_metrics_payload_exposes_cache_counters(self, service):
         service.plan(REQUEST)
         service.plan(REQUEST)
