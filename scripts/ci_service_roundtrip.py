@@ -12,7 +12,13 @@ checks the graceful shutdown wrote the cache snapshot.
 the circuit breaker, a steady 35% pool-worker failure rate, and one hung
 Monte-Carlo chunk — and asserts the resilience contract: every request is
 still answered, degraded answers are marked as such, and the breaker's
-open → half-open arc is visible in ``/metrics``.
+open → half-open arc is visible in ``/metrics``.  It then runs the
+**shard-kill drill**: a second server with ``--workers 3`` (sharded plan
+cache, per-shard journals), one shard worker SIGKILLed mid-load, and the
+contract that zero requests fail, the failover is visible in
+``shard.failovers``/``shard.deaths``, the supervisor restarts the worker
+(``shard.restarts``), and the restarted shard answers its keys from its
+replayed journal (cache hit, served by the primary again).
 
 Usage:  python scripts/ci_service_roundtrip.py [--chaos] [repro-serve args...]
 Exit status is 0 iff every step passed.
@@ -162,10 +168,129 @@ def chaos(extra_args):
     return 0
 
 
+def boot_sharded(workers, shard_dir, extra_args=(), env=None):
+    """Boot ``repro-serve --workers N`` (no snapshot: journals persist)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.server",
+            "--port", "0",
+            "--workers", str(workers),
+            "--shard-dir", shard_dir,
+            "--backend", "serial",
+            "--n-samples", "500",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    match = None
+    for _ in range(40):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            break
+    assert match, "sharded repro-serve never printed its listening line"
+    return proc, int(match.group(1))
+
+
+def shard_drill(extra_args):
+    workers = 3
+    shard_dir = tempfile.mkdtemp(prefix="repro-shards-ci-")
+    proc, port = boot_sharded(workers, shard_dir, extra_args)
+    try:
+        print(f"sharded repro-serve up on port {port} ({workers} workers)")
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60)
+
+        shards = client.shards()
+        assert len(shards) == workers and all(
+            s["up"] for s in shards.values()
+        ), shards
+
+        # Load distinct keys across the ring, then warm them.
+        specs = [{"mu": 3.0, "sigma": 0.40 + 0.02 * i} for i in range(9)]
+        cold = [client.plan("lognormal", s) for s in specs]
+        assert all(not r["cached"] for r in cold)
+        assert all(r["shard"]["failover"] is False for r in cold)
+        warm = [client.plan("lognormal", s) for s in specs]
+        assert all(r["cached"] for r in warm), "warm pass must hit the shards"
+        owners = {i: int(r["shard"]["served_by"]) for i, r in enumerate(cold)}
+        assert len(set(owners.values())) > 1, f"keys all on one shard: {owners}"
+
+        # SIGKILL the shard serving spec[0], then keep the load going: the
+        # contract is zero failed requests while the key set fails over.
+        victim = owners[0]
+        victim_pid = int(shards[str(victim)]["pid"])
+        os.kill(victim_pid, signal.SIGKILL)
+        print(f"  SIGKILLed shard {victim} (pid {victim_pid})")
+        answered = 0
+        for _ in range(3):
+            for i, spec in enumerate(specs):
+                resp = client.plan("lognormal", spec)  # must not raise
+                assert resp["statistics"]["expected_cost"] > 0
+                answered += 1
+        print(f"  {answered}/{answered} requests answered during failover")
+
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters.get("shard.failovers", 0) >= 1, counters
+        assert counters.get("shard.deaths", 0) >= 1 or counters.get(
+            "shard.rpc_failures", 0
+        ) >= 1, counters
+
+        # Supervisor restarts the worker; the new process replays its
+        # journal, so the victim's keys are warm on their primary again.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            current = client.shards().get(str(victim), {})
+            if current.get("up") and current.get("pid") not in (None, victim_pid):
+                break
+            time.sleep(0.3)
+        else:
+            raise AssertionError(f"shard {victim} never restarted")
+        new_pid = client.shards()[str(victim)]["pid"]
+        print(f"  shard {victim} restarted (pid {new_pid})")
+
+        victim_keys = [i for i, owner in owners.items() if owner == victim]
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            again = [client.plan("lognormal", specs[i]) for i in victim_keys]
+            if all(
+                r["cached"] and int(r["shard"]["served_by"]) == victim
+                for r in again
+            ):
+                break
+            time.sleep(0.3)
+        else:
+            raise AssertionError(
+                f"shard {victim} did not serve its journaled keys after restart"
+            )
+        counters = client.metrics()["metrics"]["counters"]
+        assert counters.get("shard.restarts", 0) >= 1, counters
+        assert counters.get("shard.deaths", 0) >= 1, counters
+        print(
+            f"  journal replay ok: {len(victim_keys)} key(s) warm on shard "
+            f"{victim} (shard.restarts={counters['shard.restarts']}, "
+            f"shard.failovers={counters['shard.failovers']})"
+        )
+        print("shard drill ok: SIGKILL lost zero requests, journal recovered")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        print(proc.stdout.read(), end="")
+        assert code == 0, f"sharded repro-serve exited with {code}"
+    return 0
+
+
 def main() -> int:
     args = sys.argv[1:]
     if args and args[0] == "--chaos":
-        return chaos(args[1:])
+        rc = chaos(args[1:])
+        if rc == 0:
+            rc = shard_drill(args[1:])
+        return rc
     return roundtrip(args)
 
 

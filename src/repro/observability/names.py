@@ -96,6 +96,23 @@ PLANCACHE_SNAPSHOTS_SAVED = "plancache.snapshots_saved"
 PLANCACHE_SNAPSHOT_VERSION_MISMATCH = "plancache.snapshot_version_mismatch"
 PLANCACHE_SNAPSHOT_ENTRIES_LOADED = "plancache.snapshot_entries_loaded"
 
+# -- sharded plan-cache tier (repro.service.shard/router/journal) --------
+SHARD_RPC_CALLS = "shard.rpc_calls"
+SHARD_RPC_FAILURES = "shard.rpc_failures"
+SHARD_HITS = "shard.hits"
+SHARD_MISSES = "shard.misses"
+SHARD_FAILOVERS = "shard.failovers"
+SHARD_DEATHS = "shard.deaths"
+SHARD_RESTARTS = "shard.restarts"
+SHARD_UP = "shard.up"
+SHARD_PUT_DROPS = "shard.put_drops"
+SHARD_JOURNAL_APPENDS = "shard.journal_appends"
+SHARD_JOURNAL_BYTES = "shard.journal_bytes"
+SHARD_JOURNAL_RECORDS_REPLAYED = "shard.journal_records_replayed"
+SHARD_JOURNAL_TRUNCATED_RECORDS = "shard.journal_truncated_records"
+SHARD_COMPACTIONS = "shard.compactions"
+SHARD_RECOVERED_ENTRIES = "shard.recovered_entries"
+
 # -- execution pool ------------------------------------------------------
 POOL_MAP = "pool.map"
 POOL_TASKS = "pool.tasks"

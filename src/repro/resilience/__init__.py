@@ -13,7 +13,9 @@ it answering anyway:
 * :mod:`repro.resilience.breaker` — :class:`CircuitBreaker`
   (closed/open/half-open with ``resilience.breaker.*`` metrics);
 * :mod:`repro.resilience.degradation` — :func:`run_ladder`, the
-  evaluator fallback chain used by the planner.
+  evaluator fallback chain used by the planner;
+* :mod:`repro.resilience.supervisor` — :class:`Supervisor`, the probe /
+  failover / restart loop over the shard worker processes.
 
 See ``docs/RESILIENCE.md`` for the fault-spec format, the policy knobs,
 and the planner's degradation ladder.
@@ -45,6 +47,7 @@ from repro.resilience.policies import (
     RetryBudget,
     RetryPolicy,
 )
+from repro.resilience.supervisor import Supervisor, SupervisorPolicy, Ward
 
 __all__ = [
     "ENV_VAR",
@@ -62,6 +65,9 @@ __all__ = [
     "LadderReport",
     "RetryBudget",
     "RetryPolicy",
+    "Supervisor",
+    "SupervisorPolicy",
+    "Ward",
     "fault_point",
     "fire",
     "injection_point",

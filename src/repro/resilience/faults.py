@@ -130,6 +130,9 @@ register_site("mc.chunk", "one parallel Monte-Carlo chunk costing task")
 register_site("plancache.save", "plan-cache snapshot write (pre-rename)")
 register_site("plancache.load", "plan-cache snapshot read")
 register_site("server.request", "admitted POST request handling")
+register_site("shard.journal.append", "one shard journal record write (pre-write)")
+register_site("shard.compact", "shard journal compaction (pre-publish of the base)")
+register_site("shard.rpc", "one router -> shard RPC attempt (client side)")
 
 
 # ----------------------------------------------------------------------

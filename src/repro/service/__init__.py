@@ -13,6 +13,14 @@ package turns those observations into a long-lived service:
 - :mod:`repro.service.pool` — pluggable serial / thread / process execution
   backends with ordered map, per-task timeout, and bounded retry;
 - :mod:`repro.service.planner` — the transport-free request/response core;
+- :mod:`repro.service.journal` — crash-safe append-only shard journal
+  (base snapshot + JSONL suffix, segment rotation, compaction);
+- :mod:`repro.service.shard` — one journaled cache shard: store, worker
+  process (``python -m repro.service.shard``), and RPC client;
+- :mod:`repro.service.router` — consistent-hashing router
+  (:class:`~repro.service.router.ShardedPlanCache`) and supervised
+  :class:`~repro.service.router.ShardFleet` behind ``repro-serve
+  --workers N``;
 - :mod:`repro.service.server` — ``repro-serve``, a stdlib JSON/HTTP front
   end with admission control and graceful shutdown;
 - :mod:`repro.service.client` — a stdlib client for that server.
@@ -28,8 +36,17 @@ from repro.service.keys import (
     plan_key,
     strategy_token,
 )
+from repro.service.journal import JournalCorrupt, ShardJournal
 from repro.service.plancache import PlanCache
 from repro.service.planner import PlannerService, ServiceError
+from repro.service.router import HashRing, ShardedPlanCache, ShardFleet
+from repro.service.shard import (
+    ShardClient,
+    ShardError,
+    ShardServer,
+    ShardStore,
+    ShardUnavailable,
+)
 from repro.service.pool import (
     BACKEND_KINDS,
     ExecutionBackend,
@@ -53,6 +70,17 @@ __all__ = [
     "plan_key",
     # cache
     "PlanCache",
+    # sharded cache tier
+    "JournalCorrupt",
+    "ShardJournal",
+    "ShardStore",
+    "ShardServer",
+    "ShardClient",
+    "ShardError",
+    "ShardUnavailable",
+    "HashRing",
+    "ShardedPlanCache",
+    "ShardFleet",
     # pool
     "BACKEND_KINDS",
     "ExecutionBackend",

@@ -163,6 +163,20 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._request("/metrics")
 
+    def shards(self) -> dict:
+        """Per-shard fleet view from ``/healthz``.
+
+        ``{shard_id: {"up", "host", "port", "pid", "size", ...}}`` when the
+        server runs ``--workers N``; ``{}`` against a classic single-process
+        server.  The chaos drill uses the ``pid`` fields to pick a victim.
+        """
+        cache = self.healthz().get("cache", {})
+        if isinstance(cache, dict) and cache.get("sharded"):
+            shards = cache.get("shards", {})
+            if isinstance(shards, dict):
+                return shards
+        return {}
+
     # -- helpers -------------------------------------------------------
     @staticmethod
     def _body(law, params, cost_model, strategy, coverage, n_samples, seed) -> dict:

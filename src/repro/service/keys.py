@@ -38,10 +38,30 @@ __all__ = [
     "cost_model_token",
     "strategy_token",
     "plan_key",
+    "stable_key_hash",
 ]
 
 #: Bump on any change to the canonical encoding or the keyed fields.
 KEY_VERSION = 1
+
+
+def stable_key_hash(key: str) -> int:
+    """Process-independent 64-bit integer derived from a cache key.
+
+    Plan keys are SHA-256 hex digests, so the first 16 hex characters *are*
+    64 uniformly distributed bits — reuse them directly.  Non-hex keys
+    (tests, ad-hoc callers) fall back to hashing the key's UTF-8 bytes.
+
+    This is the only hash the stripe locks and the consistent-hashing ring
+    may use: the builtin ``hash()`` is randomized per process
+    (``PYTHONHASHSEED``), which would scatter one key across different
+    stripes/shards in different workers.
+    """
+    try:
+        return int(key[:16], 16)
+    except ValueError:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
 
 
 def _canonical(obj):

@@ -32,11 +32,13 @@ import tempfile
 import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.observability import metrics
 from repro.observability import names
 from repro.resilience import faults
+from repro.service.keys import stable_key_hash
+from repro.utils.fsio import durable_replace
 
 __all__ = ["PlanCache", "SNAPSHOT_VERSION"]
 
@@ -86,6 +88,7 @@ class PlanCache:
             if entry is not None and self._expired(entry[0]):
                 del self._data[key]
                 metrics.inc(names.PLANCACHE_EXPIRATIONS)
+                metrics.set_gauge(names.PLANCACHE_SIZE, len(self._data))
                 entry = None
             if entry is None:
                 metrics.inc(names.PLANCACHE_MISSES)
@@ -94,17 +97,27 @@ class PlanCache:
             metrics.inc(names.PLANCACHE_HITS)
             return entry[1]
 
-    def put(self, key: str, payload: dict, created_at: Optional[float] = None) -> None:
-        """Insert (or refresh) an entry, evicting the LRU tail past maxsize."""
+    def put(
+        self, key: str, payload: dict, created_at: Optional[float] = None
+    ) -> List[str]:
+        """Insert (or refresh) an entry, evicting the LRU tail past maxsize.
+
+        Returns the keys evicted to make room (usually empty) — the
+        journaled shard store records them so a replayed journal removes
+        exactly what the live cache removed.
+        """
         stamp = self._clock() if created_at is None else float(created_at)
+        evicted: List[str] = []
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
             self._data[key] = (stamp, payload)
             while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
+                victim, _ = self._data.popitem(last=False)
+                evicted.append(victim)
                 metrics.inc(names.PLANCACHE_EVICTIONS)
             metrics.set_gauge(names.PLANCACHE_SIZE, len(self._data))
+        return evicted
 
     def get_or_compute(
         self, key: str, factory: Callable[[], dict]
@@ -118,7 +131,11 @@ class PlanCache:
         payload = self.get(key)
         if payload is not None:
             return payload, True
-        stripe = self._stripes[hash(key) % _N_STRIPES]
+        # Stripe selection must be process-independent: builtin hash() is
+        # randomized per interpreter (PYTHONHASHSEED), which would assign
+        # the same key to different stripes in different workers.  The
+        # content-hash key already carries uniform bits — use those.
+        stripe = self._stripes[stable_key_hash(key) % _N_STRIPES]
         with stripe:
             payload = self.get(key)  # a waiter finds the winner's entry here
             if payload is not None:
@@ -130,7 +147,10 @@ class PlanCache:
 
     def invalidate(self, key: str) -> bool:
         with self._lock:
-            return self._data.pop(key, None) is not None
+            removed = self._data.pop(key, None) is not None
+            if removed:
+                metrics.set_gauge(names.PLANCACHE_SIZE, len(self._data))
+            return removed
 
     def clear(self) -> None:
         with self._lock:
@@ -147,23 +167,35 @@ class PlanCache:
                 "ttl": self.ttl,
             }
 
+    def entries(self) -> List[Dict[str, object]]:
+        """Live (non-expired) entries in LRU order as snapshot-schema dicts.
+
+        Shared by :meth:`save`, the shard journal's compaction, and tests
+        that compare recovered state against live state.
+        """
+        with self._lock:
+            return [
+                {"key": key, "created_at": created_at, "payload": payload}
+                for key, (created_at, payload) in self._data.items()
+                if not self._expired(created_at)
+            ]
+
     # ------------------------------------------------------------------
     # Warm-start snapshot
     # ------------------------------------------------------------------
     def save(self, path: str) -> int:
         """Write every live entry (LRU order) as JSON; returns the count.
 
-        The write is crash-safe: everything lands in a same-directory temp
-        file first and only a successful, flushed write is atomically
-        renamed over ``path`` — an interrupted save leaves the previous
-        snapshot byte-identical.
+        The write is crash-safe and durable: everything lands in a
+        same-directory temp file first, only a successful, flushed, fsynced
+        write is atomically renamed over ``path``, and the containing
+        directory is then fsynced so the rename itself survives a power
+        failure (on platforms where directories cannot be opened — no
+        ``O_DIRECTORY`` — the directory sync degrades to a no-op and the
+        guarantee weakens to rename-atomicity).  An interrupted save leaves
+        the previous snapshot byte-identical.
         """
-        with self._lock:
-            entries = [
-                {"key": key, "created_at": created_at, "payload": payload}
-                for key, (created_at, payload) in self._data.items()
-                if not self._expired(created_at)
-            ]
+        entries = self.entries()
         doc = {
             "version": SNAPSHOT_VERSION,
             "saved_at": self._clock(),
@@ -185,7 +217,7 @@ class PlanCache:
                 faults.fire("plancache.save")
                 fh.flush()
                 os.fsync(fh.fileno())
-            os.replace(tmp_path, target)
+            durable_replace(tmp_path, target)
         except BaseException:
             try:
                 os.unlink(tmp_path)

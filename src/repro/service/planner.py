@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -61,9 +61,33 @@ from repro.strategies.registry import PAPER_STRATEGY_ORDER, make_strategy
 __all__ = [
     "ServiceError",
     "ResilienceOptions",
+    "PlanCacheLike",
     "PlannerService",
     "PAYLOAD_VERSION",
 ]
+
+
+class PlanCacheLike(Protocol):
+    """What the planner needs from a cache tier.
+
+    Satisfied by the in-process :class:`~repro.service.plancache.PlanCache`
+    and by the sharded facade
+    (:class:`~repro.service.router.ShardedPlanCache`).  The sharded tier
+    additionally offers ``get_or_compute_routed`` — detected dynamically so
+    responses can be stamped with the shard route without this module
+    importing the router.
+    """
+
+    maxsize: int
+    ttl: Optional[float]
+
+    def get_or_compute(
+        self, key: str, factory: Callable[[], dict]
+    ) -> Tuple[dict, bool]: ...
+
+    def invalidate(self, key: str) -> bool: ...
+
+    def stats(self) -> Dict[str, object]: ...
 
 PAYLOAD_VERSION = 1
 
@@ -235,7 +259,7 @@ class PlannerService:
 
     def __init__(
         self,
-        cache: Optional[PlanCache] = None,
+        cache: Optional[PlanCacheLike] = None,
         backend: Optional[ExecutionBackend] = None,
         n_samples: int = DEFAULT_N_SAMPLES,
         seed: int = 0,
@@ -403,10 +427,20 @@ class PlannerService:
                 n_samples, seed, deadline,
             )
 
+        # The sharded tier returns the route alongside the payload; stamp
+        # it (like the ladder's degraded/evaluator stamp) so callers and
+        # the chaos drill can tell a primary answer from a failed-over one.
+        routed = getattr(self.cache, "get_or_compute_routed", None)
         with metrics.timer(names.SERVICE_PLAN):
-            payload, cached = self.cache.get_or_compute(key, compute)
+            if routed is not None:
+                payload, cached, route = routed(key, compute)
+            else:
+                payload, cached = self.cache.get_or_compute(key, compute)
+                route = None
         response = dict(payload)
         response["cached"] = cached
+        if route is not None:
+            response["shard"] = route
         return response
 
     def _compute_plan(

@@ -105,7 +105,7 @@ def _run_task(fn: Callable[[T], R], item: T) -> R:
     Module-level so the process backend can pickle it; child processes
     pick chaos drills up through the inherited ``REPRO_FAULTS`` variable.
     """
-    faults.fire("pool.worker")
+    faults.fire("pool.worker")  # repro-lint: disable=RS203 -- every backend.map caller rides RetryPolicy + the degradation ladder; the flagged routes go through name-based CHA conflating PlanCache.get_or_compute with the sharded tier's, whose factory runs under the same ladder
     return fn(item)
 
 

@@ -47,7 +47,10 @@ from repro.observability import metrics
 from repro.observability import names
 from repro.resilience import faults
 from repro.resilience.faults import FaultPlan
+from repro.service.plancache import PlanCache
 from repro.service.planner import PlannerService, ResilienceOptions, ServiceError
+from repro.service.pool import get_backend
+from repro.service.router import ShardFleet
 
 __all__ = ["PlanServer", "serve", "main"]
 
@@ -215,6 +218,27 @@ def main(argv=None) -> int:
         "--cache-size", type=int, default=256, help="plan cache capacity"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard the plan cache across N supervised worker processes "
+        "(0 = classic in-process cache); each shard persists its slice in "
+        "a crash-safe append-only journal under --shard-dir",
+    )
+    parser.add_argument(
+        "--shard-dir",
+        metavar="DIR",
+        default=None,
+        help="root directory for per-shard journals (default: "
+        "./repro-shards); each worker owns DIR/shard-K",
+    )
+    parser.add_argument(
+        "--shard-journal-bytes",
+        type=int,
+        default=1 << 20,
+        help="journal segment size that triggers shard compaction",
+    )
+    parser.add_argument(
         "--ttl", type=float, default=None, help="plan cache TTL in seconds"
     )
     parser.add_argument(
@@ -306,11 +330,26 @@ def main(argv=None) -> int:
         plan = FaultPlan.from_spec(args.fault_spec)
         faults.install(plan)
         print(f"Fault plan installed: {plan!r}", file=sys.stderr)
-    service = PlannerService.from_options(
-        cache_size=args.cache_size,
-        ttl=args.ttl,
-        backend=args.backend,
-        jobs=args.jobs,
+    fleet = None
+    if args.workers > 0:
+        fleet = ShardFleet(
+            n_shards=args.workers,
+            data_dir=args.shard_dir or "repro-shards",
+            maxsize_per_shard=args.cache_size,
+            ttl=args.ttl,
+            journal_max_bytes=args.shard_journal_bytes,
+        )
+        cache = fleet.start()
+        print(
+            f"Shard fleet up: {args.workers} worker(s), pids="
+            f"{sorted(fleet.pids().values())}, data={fleet.data_dir}",
+            file=sys.stderr,
+        )
+    else:
+        cache = PlanCache(maxsize=args.cache_size, ttl=args.ttl)
+    service = PlannerService(
+        cache=cache,
+        backend=get_backend(args.backend, args.jobs),
         n_samples=args.n_samples,
         seed=args.seed,
         resilience=ResilienceOptions(
@@ -322,14 +361,23 @@ def main(argv=None) -> int:
         ),
     )
     if args.warm_start:
-        try:
-            loaded = service.cache.load(args.warm_start)
-            print(f"Warm start: {loaded} plan(s) from {args.warm_start}")
-        except Exception as exc:  # noqa: BLE001 - a cold boot beats no boot
-            # Broad on purpose: a corrupt/unreadable snapshot (or an
-            # injected plancache.load fault in chaos runs) must degrade to
-            # an empty cache, never keep the server from starting.
-            print(f"Warm start skipped ({exc})", file=sys.stderr)
+        if isinstance(cache, PlanCache):
+            try:
+                loaded = cache.load(args.warm_start)
+                print(f"Warm start: {loaded} plan(s) from {args.warm_start}")
+            except Exception as exc:  # noqa: BLE001 - cold boot beats no boot
+                # Broad on purpose: a corrupt/unreadable snapshot (or an
+                # injected plancache.load fault in chaos runs) must degrade
+                # to an empty cache, never keep the server from starting.
+                print(f"Warm start skipped ({exc})", file=sys.stderr)
+        else:
+            # Sharded mode warm-starts from the per-shard journals instead
+            # (each worker replayed base + journal before its banner).
+            print(
+                "Warm start: sharded mode replays per-shard journals; "
+                f"ignoring {args.warm_start}",
+                file=sys.stderr,
+            )
 
     server = serve(
         service, host=args.host, port=args.port, max_inflight=args.max_inflight
@@ -348,7 +396,7 @@ def main(argv=None) -> int:
     print(
         f"repro-serve listening on http://{host}:{server.port} "
         f"(backend={service.backend.kind}, cache={service.cache.maxsize}, "
-        f"max_inflight={args.max_inflight})",
+        f"workers={args.workers}, max_inflight={args.max_inflight})",
         flush=True,
     )
     try:
@@ -365,18 +413,29 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
         if args.snapshot_out:
-            try:
-                saved = service.cache.save(args.snapshot_out)
+            if isinstance(cache, PlanCache):
+                try:
+                    saved = cache.save(args.snapshot_out)
+                    print(
+                        f"Snapshot: {saved} plan(s) to {args.snapshot_out}",
+                        flush=True,
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    # The shutdown path must complete even when the snapshot
+                    # write fails (disk full, injected plancache.save
+                    # fault): losing a warm start is recoverable, dying
+                    # mid-drain with a traceback is not.
+                    print(f"Snapshot failed ({exc})", file=sys.stderr)
+            else:
                 print(
-                    f"Snapshot: {saved} plan(s) to {args.snapshot_out}",
-                    flush=True,
+                    "Snapshot: sharded mode persists per-shard journals; "
+                    f"ignoring {args.snapshot_out}",
+                    file=sys.stderr,
                 )
-            except Exception as exc:  # noqa: BLE001
-                # The shutdown path must complete even when the snapshot
-                # write fails (disk full, injected plancache.save fault):
-                # losing a warm start is recoverable, dying mid-drain with
-                # a traceback is not.
-                print(f"Snapshot failed ({exc})", file=sys.stderr)
+        if fleet is not None:
+            # After the drain: in-flight requests may still be talking to
+            # shards right up to their last byte of response.
+            fleet.shutdown()
     return 0
 
 

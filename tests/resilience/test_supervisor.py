@@ -1,0 +1,181 @@
+"""Supervisor state machine: probe, failover, restart, budget."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.resilience.supervisor import Supervisor, SupervisorPolicy, Ward
+
+
+class FakeWard:
+    """Scriptable ward: flip ``alive`` / ``healthy``, count restarts."""
+
+    def __init__(self, alive: bool = True, healthy: bool = True):
+        self.alive = alive
+        self.healthy = healthy
+        self.restarts = 0
+        self.restart_error: Exception | None = None
+
+    def is_alive(self) -> bool:
+        return self.alive
+
+    def ping(self) -> bool:
+        return self.healthy
+
+    def restart(self) -> None:
+        self.restarts += 1
+        if self.restart_error is not None:
+            raise self.restart_error
+        self.alive = True
+        self.healthy = True
+
+
+def make(policy=None, **wards):
+    events = []
+    sup = Supervisor(
+        policy=policy
+        or SupervisorPolicy(
+            ping_interval_s=0.01, max_ping_failures=2, restart_backoff_s=0.0
+        ),
+        on_down=lambda name: events.append(("down", name)),
+        on_up=lambda name: events.append(("up", name)),
+        sleep=lambda s: None,
+    )
+    for name, ward in wards.items():
+        sup.add(name, ward.is_alive, ward.ping, ward.restart)
+    return sup, events
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_healthy_ward_stays_up_and_remarks_up():
+    ward = FakeWard()
+    sup, events = make(a=ward)
+    sup.check_once()
+    sup.check_once()
+    # Every clean probe re-marks up (idempotent router un-benching).
+    assert events == [("up", "a"), ("up", "a")]
+    assert ward.restarts == 0
+
+
+def test_dead_process_fails_over_immediately_then_restarts():
+    ward = FakeWard(alive=False, healthy=False)
+    sup, events = make(a=ward)
+    sup.check_once()  # death detected on the very first failed probe
+    assert ("down", "a") in events
+    assert wait_until(lambda: ward.restarts == 1)
+    sup.check_once()
+    assert events[-1] == ("up", "a")
+    state = sup.stats()["wards"][0]
+    assert state["up"] and state["restarts"] == 1
+
+
+def test_wedged_ward_needs_consecutive_failures():
+    ward = FakeWard(alive=True, healthy=False)
+    sup, events = make(a=ward)
+    sup.check_once()  # one failed ping: below threshold, no action
+    assert events == []
+    sup.check_once()  # second consecutive failure: wedged
+    assert ("down", "a") in events
+    assert wait_until(lambda: ward.restarts == 1)
+
+
+def test_transient_ping_failure_resets_streak():
+    ward = FakeWard(alive=True, healthy=False)
+    sup, events = make(a=ward)
+    sup.check_once()
+    ward.healthy = True
+    sup.check_once()  # success resets the streak
+    ward.healthy = False
+    sup.check_once()  # one failure again: still below threshold
+    assert not any(kind == "down" for kind, _ in events)
+    assert ward.restarts == 0
+
+
+def test_restart_budget_exhausts():
+    ward = FakeWard(alive=False, healthy=False)
+    ward.restart_error = RuntimeError("spawn keeps failing")
+    sup, _ = make(
+        policy=SupervisorPolicy(
+            ping_interval_s=0.01,
+            max_ping_failures=1,
+            restart_backoff_s=0.0,
+            max_restarts=2,
+        ),
+        a=ward,
+    )
+    for _ in range(10):
+        sup.check_once()
+        wait_until(lambda: not sup.stats()["wards"][0]["restarting"], 2.0)
+    assert ward.restarts == 2  # budget respected
+    state = sup.stats()["wards"][0]
+    assert not state["up"]
+    assert "spawn keeps failing" in (state["last_error"] or "")
+
+
+def test_probe_exception_counts_as_failure_not_crash():
+    sup, events = make()
+    boom = threading.Event()
+
+    def bad_ping() -> bool:
+        raise RuntimeError("probe exploded")
+
+    restarted = []
+    sup.add("x", lambda: True, bad_ping, lambda: restarted.append(1))
+    sup.check_once()  # raising probe == dead probe: immediate failover
+    assert ("down", "x") in events
+    assert wait_until(lambda: restarted == [1])
+    assert not boom.is_set()
+
+
+def test_monitor_thread_lifecycle():
+    ward = FakeWard()
+    sup, events = make(a=ward)
+    sup.start()
+    assert wait_until(lambda: len(events) >= 3)
+    sup.stop()
+    count = len(events)
+    time.sleep(0.05)
+    assert len(events) == count  # no probes after stop
+
+
+def test_only_one_restart_in_flight():
+    release = threading.Event()
+    started = []
+
+    def slow_restart() -> None:
+        started.append(1)
+        release.wait(5.0)
+
+    sup, _ = make(
+        policy=SupervisorPolicy(
+            ping_interval_s=0.01, max_ping_failures=1, restart_backoff_s=0.0
+        )
+    )
+    sup.add("s", lambda: False, lambda: False, slow_restart)
+    sup.check_once()
+    assert wait_until(lambda: started == [1])
+    sup.check_once()  # restart still in flight: must not start another
+    sup.check_once()
+    assert started == [1]
+    release.set()
+    assert wait_until(lambda: not sup.stats()["wards"][0]["restarting"])
+
+
+def test_ward_dataclass_roundtrip():
+    ward = Ward(
+        name="w",
+        is_alive=lambda: True,
+        ping=lambda: True,
+        restart=lambda: None,
+    )
+    d = ward.to_dict()
+    assert d["name"] == "w" and d["up"] and d["restarts"] == 0

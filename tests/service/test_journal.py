@@ -1,0 +1,318 @@
+"""Crash-safety tests for the shard journal (format v1).
+
+The load-bearing guarantee: recovery = base + committed journal suffix,
+and an interrupted append loses at most the final partial record.  The
+torn-write test enforces it mechanically — the journal is truncated at
+*every byte offset* spanning the final record, and every truncation must
+recover exactly the committed prefix, never a corrupted or invented
+entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.service.journal import (
+    JOURNAL_VERSION,
+    JournalCorrupt,
+    ShardJournal,
+)
+from repro.service.shard import ShardStore
+
+
+class FakeClock:
+    def __init__(self, start: float = 1_000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture(autouse=True)
+def _quiet_obs(isolated_obs):
+    """Journal metrics go to an isolated registry in every test here."""
+
+
+def make_journal(tmp_path, clock, **kwargs) -> ShardJournal:
+    kwargs.setdefault("fsync", False)  # keep the suite off the disk's back
+    return ShardJournal(str(tmp_path / "shard-0"), clock=clock, **kwargs)
+
+
+def put(journal: ShardJournal, key: str, value: int, ts: float) -> None:
+    journal.append(
+        {"op": "put", "key": key, "created_at": ts, "payload": {"v": value}}
+    )
+
+
+# ----------------------------------------------------------------------
+# Basic replay semantics
+# ----------------------------------------------------------------------
+def test_replay_applies_put_invalidate_evict_clear(tmp_path, clock):
+    journal = make_journal(tmp_path, clock)
+    put(journal, "a", 1, 10.0)
+    put(journal, "b", 2, 11.0)
+    journal.append({"op": "invalidate", "key": "a"})
+    put(journal, "c", 3, 12.0)
+    journal.append({"op": "evict", "key": "b"})
+    result = journal.replay()
+    assert result.entries == {"c": (12.0, {"v": 3})}
+    assert result.truncated_records == 0
+
+    journal.append({"op": "clear"})
+    put(journal, "d", 4, 13.0)
+    assert journal.replay().entries == {"d": (13.0, {"v": 4})}
+    journal.close()
+
+
+def test_replay_last_write_per_key_wins(tmp_path, clock):
+    journal = make_journal(tmp_path, clock)
+    put(journal, "k", 1, 10.0)
+    put(journal, "k", 2, 20.0)
+    assert journal.replay().entries == {"k": (20.0, {"v": 2})}
+    journal.close()
+
+
+def test_replay_skips_unknown_ops(tmp_path, clock):
+    journal = make_journal(tmp_path, clock)
+    put(journal, "a", 1, 10.0)
+    journal.append({"op": "checkpoint-v9", "whatever": True})  # future record
+    result = journal.replay()
+    assert result.entries == {"a": (10.0, {"v": 1})}
+    journal.close()
+
+
+def test_replay_survives_process_restart(tmp_path, clock):
+    journal = make_journal(tmp_path, clock)
+    put(journal, "a", 1, 10.0)
+    journal.close()
+    # A fresh journal object over the same directory appends to the same
+    # segment (no new header) and replays everything.
+    reopened = make_journal(tmp_path, clock)
+    put(reopened, "b", 2, 11.0)
+    result = reopened.replay()
+    assert result.entries == {"a": (10.0, {"v": 1}), "b": (11.0, {"v": 2})}
+    reopened.close()
+    with open(reopened.journal_path, "rb") as fh:
+        headers = [
+            line for line in fh.read().splitlines() if b'"segment"' in line
+        ]
+    assert len(headers) == 1
+
+
+# ----------------------------------------------------------------------
+# Torn final record: every byte offset
+# ----------------------------------------------------------------------
+def test_torn_final_record_at_every_byte_offset(tmp_path, clock):
+    """Truncation anywhere inside the final record recovers the prefix.
+
+    This is the acceptance-criteria test: after a crash mid-append the
+    journal holds the committed records plus a torn tail.  For every
+    possible tear point the replay must equal the state of the committed
+    prefix — bit-identical entries, no corruption, at most one counted
+    truncated record.
+    """
+    journal = make_journal(tmp_path, clock)
+    put(journal, "a", 1, 10.0)
+    put(journal, "b", 2, 11.0)
+    journal.append({"op": "invalidate", "key": "a"})
+    final = {"op": "put", "key": "a", "created_at": 12.0, "payload": {"v": 3}}
+    journal.append(final)
+    journal.close()
+
+    with open(journal.journal_path, "rb") as fh:
+        full = fh.read()
+    final_line = json.dumps(final, separators=(",", ":")).encode() + b"\n"
+    assert full.endswith(final_line)
+    prefix_len = len(full) - len(final_line)
+    committed = {"b": (11.0, {"v": 2})}
+    complete = {"b": (11.0, {"v": 2}), "a": (12.0, {"v": 3})}
+
+    for cut in range(prefix_len, len(full) + 1):
+        with open(journal.journal_path, "wb") as fh:
+            fh.write(full[:cut])
+        torn = make_journal(tmp_path, clock)
+        result = torn.replay()
+        torn.close()
+        if cut >= len(full) - 1:
+            # Full record (the trailing newline is decoration): committed.
+            assert result.entries == complete, f"cut={cut}"
+            assert result.truncated_records == 0
+        elif cut <= prefix_len + 1:
+            # Nothing or a sliver of the final line: committed prefix only.
+            assert result.entries == committed, f"cut={cut}"
+        else:
+            assert result.entries == committed, f"cut={cut}"
+            assert result.truncated_records == 1, f"cut={cut}"
+
+
+def test_injected_append_fault_never_corrupts_committed_records(
+    tmp_path, clock
+):
+    """A ``shard.journal.append`` fault leaves the file byte-identical."""
+    store = ShardStore(str(tmp_path / "s"), clock=clock, fsync=False)
+    store.put("a" * 64, {"v": 1})
+    store.put("b" * 64, {"v": 2})
+    with open(store.journal.journal_path, "rb") as fh:
+        before = fh.read()
+
+    plan = faults.FaultPlan.from_spec("shard.journal.append:error")
+    faults.install(plan)
+    try:
+        with pytest.raises(faults.InjectedFault):
+            store.put("c" * 64, {"v": 3})
+        with pytest.raises(faults.InjectedFault):
+            store.invalidate("a" * 64)
+    finally:
+        faults.uninstall()
+
+    with open(store.journal.journal_path, "rb") as fh:
+        assert fh.read() == before
+    # The in-memory cache was not mutated either (journal-first ordering).
+    assert store.get("c" * 64) is None
+    assert store.get("a" * 64) == {"v": 1}
+    # And replay agrees with the live state.
+    assert set(store.journal.replay().entries) == {"a" * 64, "b" * 64}
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+def test_compaction_folds_journal_into_base(tmp_path, clock):
+    journal = make_journal(tmp_path, clock, max_segment_bytes=1 << 30)
+    for i in range(20):
+        put(journal, f"k{i}", i, 100.0 + i)
+    journal.append({"op": "invalidate", "key": "k0"})
+    live = journal.replay().entries
+    entries = [
+        {"key": k, "created_at": ts, "payload": payload}
+        for k, (ts, payload) in live.items()
+    ]
+    journal.compact(entries)
+    assert os.path.exists(journal.base_path)
+    # The fresh segment holds only its header line.
+    with open(journal.journal_path, "rb") as fh:
+        lines = [ln for ln in fh.read().splitlines() if ln.strip()]
+    assert len(lines) == 1 and b'"segment"' in lines[0]
+    assert journal.replay().entries == live
+    # And the journal still accepts appends afterwards.
+    put(journal, "post", 99, 200.0)
+    assert journal.replay().entries["post"] == (200.0, {"v": 99})
+    journal.close()
+
+
+def test_size_trigger_and_store_compaction(tmp_path, clock):
+    store = ShardStore(
+        str(tmp_path / "s"), clock=clock, fsync=False, max_segment_bytes=512
+    )
+    for i in range(50):
+        store.put(f"{i:064x}", {"v": i, "pad": "x" * 40})
+    # Small segments force compactions along the way; state stays exact.
+    assert store.journal.stats()["compactions"] >= 1
+    fresh = ShardStore(str(tmp_path / "s"), clock=clock, fsync=False)
+    fresh.recover()
+    assert fresh.cache.entries() == store.cache.entries()
+    store.close()
+    fresh.close()
+
+
+def test_age_trigger(tmp_path, clock):
+    journal = make_journal(
+        tmp_path, clock, max_segment_bytes=1 << 30, max_segment_age_s=60.0
+    )
+    put(journal, "a", 1, clock())
+    assert not journal.should_compact()
+    clock.advance(61.0)
+    assert journal.should_compact()
+    journal.close()
+
+
+def test_injected_compact_fault_preserves_base_and_journal(tmp_path, clock):
+    journal = make_journal(tmp_path, clock, max_segment_bytes=1 << 30)
+    put(journal, "a", 1, 10.0)
+    live = journal.replay().entries
+    entries = [
+        {"key": k, "created_at": ts, "payload": payload}
+        for k, (ts, payload) in live.items()
+    ]
+    journal.compact(entries)  # first base published
+    put(journal, "b", 2, 11.0)
+    with open(journal.base_path, "rb") as fh:
+        base_before = fh.read()
+    with open(journal.journal_path, "rb") as fh:
+        journal_before = fh.read()
+
+    faults.install(faults.FaultPlan.from_spec("shard.compact:error"))
+    try:
+        with pytest.raises(faults.InjectedFault):
+            journal.compact(entries)
+    finally:
+        faults.uninstall()
+
+    with open(journal.base_path, "rb") as fh:
+        assert fh.read() == base_before
+    with open(journal.journal_path, "rb") as fh:
+        assert fh.read() == journal_before
+    # The aborted compaction left an appendable journal and exact replay.
+    put(journal, "c", 3, 12.0)
+    result = journal.replay()
+    assert result.entries == {
+        "a": (10.0, {"v": 1}),
+        "b": (11.0, {"v": 2}),
+        "c": (12.0, {"v": 3}),
+    }
+    assert not [
+        name
+        for name in os.listdir(journal.directory)
+        if name.endswith(".tmp")
+    ], "aborted compaction must not leak temp files"
+    journal.close()
+
+
+# ----------------------------------------------------------------------
+# Base handling
+# ----------------------------------------------------------------------
+def test_version_mismatch_base_is_ignored(tmp_path, clock):
+    journal = make_journal(tmp_path, clock)
+    put(journal, "a", 1, 10.0)
+    with open(journal.base_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {"version": JOURNAL_VERSION + 1, "entries": [{"key": "zz"}]}, fh
+        )
+    result = journal.replay()
+    assert result.entries == {"a": (10.0, {"v": 1})}
+    assert result.base_entries == 0
+    journal.close()
+
+
+def test_unreadable_base_raises_journal_corrupt(tmp_path, clock):
+    journal = make_journal(tmp_path, clock)
+    with open(journal.base_path, "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    with pytest.raises(JournalCorrupt):
+        journal.replay()
+    journal.close()
+
+
+def test_store_recover_skips_corrupt_base_gracefully(tmp_path, clock):
+    # The worker entry point treats JournalCorrupt as "cold shard beats no
+    # shard"; the store-level recover surfaces it for that decision.
+    store = ShardStore(str(tmp_path / "s"), clock=clock, fsync=False)
+    store.put("a" * 64, {"v": 1})
+    with open(store.journal.base_path, "w", encoding="utf-8") as fh:
+        fh.write("garbage")
+    with pytest.raises(JournalCorrupt):
+        store.recover()
+    store.close()

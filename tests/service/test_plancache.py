@@ -206,3 +206,95 @@ class TestSnapshot:
         cache = PlanCache()
         assert cache.load(str(path)) == 1
         assert cache.get("ok") == {"v": 1}
+
+
+# ----------------------------------------------------------------------
+class TestGaugeRegressions:
+    """The ``plancache.size`` gauge must track every removal path."""
+
+    def gauge(self, registry) -> int:
+        return int(registry.gauge("plancache.size").value)
+
+    def test_invalidate_updates_size_gauge(self, registry):
+        cache = PlanCache()
+        cache.put("a", {})
+        cache.put("b", {})
+        assert self.gauge(registry) == 2
+        cache.invalidate("a")
+        assert self.gauge(registry) == 1
+        cache.invalidate("missing")  # no removal: gauge untouched
+        assert self.gauge(registry) == 1
+
+    def test_expired_get_updates_size_gauge(self, registry):
+        clock = FakeClock()
+        cache = PlanCache(ttl=10.0, clock=clock)
+        cache.put("a", {})
+        cache.put("b", {})
+        assert self.gauge(registry) == 2
+        clock.advance(11.0)
+        assert cache.get("a") is None  # expired: dropped on read
+        assert self.gauge(registry) == 1
+
+
+class TestEvictionReporting:
+    def test_put_returns_evicted_keys_in_lru_order(self, registry):
+        cache = PlanCache(maxsize=2)
+        assert cache.put("a", {}) == []
+        assert cache.put("b", {}) == []
+        assert cache.put("c", {}) == ["a"]  # LRU victim
+        cache.get("b")  # refresh b; c becomes the victim
+        assert cache.put("d", {}) == ["c"]
+
+    def test_refresh_is_not_an_eviction(self, registry):
+        cache = PlanCache(maxsize=2)
+        cache.put("a", {})
+        cache.put("b", {})
+        assert cache.put("a", {"v": 2}) == []
+
+
+class TestStripeDeterminism:
+    def test_stable_key_hash_ignores_pythonhashseed(self, registry):
+        """Stripe selection must agree across interpreter processes.
+
+        The regression: ``hash(key)`` is randomized per process, so two
+        workers disagreed on which stripe serializes a key.  The fix
+        derives the stripe from the content-hash key itself — assert the
+        value is identical under different PYTHONHASHSEED settings.
+        """
+        import os
+        import subprocess
+        import sys
+
+        key = "ab" * 32
+        code = (
+            "from repro.service.keys import stable_key_hash;"
+            f"print(stable_key_hash({key!r}) % 64)"
+        )
+        outputs = set()
+        for seed in ("0", "1", "424242"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                    os.path.abspath(__file__)
+                ))),
+            )
+            outputs.add(out.stdout.strip())
+        assert len(outputs) == 1
+
+    def test_stable_key_hash_uses_hex_prefix(self, registry):
+        from repro.service.keys import stable_key_hash
+
+        assert stable_key_hash("ff" * 32) == 0xFFFFFFFFFFFFFFFF
+        assert stable_key_hash("00" * 32) == 0
+        # Non-hex keys fall back to sha256 without raising.
+        a, b = stable_key_hash("not hex!"), stable_key_hash("not hex?")
+        assert a != b and a >= 0 and b >= 0

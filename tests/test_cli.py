@@ -87,9 +87,12 @@ class TestObservabilityFlags:
         )
         assert match, out
         total, strategy, evaluation = map(float, match.groups())
-        assert strategy + evaluation <= total * 1.001
+        # The footer prints 3 decimals, so each parsed value carries up to
+        # 0.5ms of rounding; 2ms of slack keeps a ~10ms fast run (where the
+        # quantization is a whole print quantum) from flipping the verdict.
+        assert strategy + evaluation <= total * 1.001 + 0.002
         # Acceptance bar: the accounted-for portions cover >=90% of the wall.
-        assert strategy + evaluation >= total * 0.9
+        assert strategy + evaluation >= total * 0.9 - 0.002
 
     def test_metrics_out_writes_promised_counters(self, tmp_path, capsys,
                                                   isolated_obs):
